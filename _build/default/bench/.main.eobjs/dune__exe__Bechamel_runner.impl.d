@@ -1,0 +1,1 @@
+bench/bechamel_runner.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Printf Test Time Toolkit

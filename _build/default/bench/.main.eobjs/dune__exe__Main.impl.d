@@ -1,0 +1,1 @@
+bench/main.ml: Array Axiom Bechamel Bechamel_runner Core Fmt Format Harness Image Int64 List Litmus Mapping Staged String Sys Test

@@ -1,0 +1,39 @@
+(* Minimal Bechamel driver: measures each test with the monotonic clock
+   and prints the OLS estimate of time per run. *)
+
+open Bechamel
+open Toolkit
+
+let run ?(quota = 0.4) ~name tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun label ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> nan
+        in
+        (label, ns) :: acc)
+      results []
+  in
+  Printf.printf "%-42s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun (label, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%8.2f  s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.2f ns" ns
+      in
+      Printf.printf "%-42s %14s\n" label pretty)
+    (List.sort compare rows);
+  print_newline ()

@@ -1,0 +1,253 @@
+(* The full benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§7), prints the §3 correctness findings, runs the
+   DESIGN.md ablations, and measures the engine itself with Bechamel
+   (one Test.make per table/figure).
+
+   Pass "--no-bechamel" to skip the wall-clock micro-benchmarks. *)
+
+let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv
+let ppf = Format.std_formatter
+
+let section title =
+  Format.printf "@.===================================================@.";
+  Format.printf "== %s@." title;
+  Format.printf "===================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* Mapping tables (Figures 2, 3, 7)                                    *)
+
+let mapping_tables () =
+  section "Mapping tables (Figures 2, 3, 7)";
+  Harness.Figures.pp_mapping_tables ppf ()
+
+(* ------------------------------------------------------------------ *)
+(* §3 correctness findings                                             *)
+
+let correctness_findings () =
+  section "Section 3: correctness findings (exhaustive model checking)";
+  let x86 = Axiom.X86_tso.model in
+  let arm_orig = Axiom.Arm_cats.model Axiom.Arm_cats.Original in
+  let arm_fix = Axiom.Arm_cats.model Axiom.Arm_cats.Corrected in
+  let check name scheme tgt_model prog expect_violation =
+    let r =
+      Mapping.Check.refines ~src_model:x86 ~tgt_model ~src:prog
+        ~tgt:(scheme prog)
+    in
+    Format.printf "  %-58s %s (expected %s)@." name
+      (if r.Mapping.Check.ok then "correct" else "VIOLATION")
+      (if expect_violation then "VIOLATION" else "correct")
+  in
+  let qemu_gcc10 =
+    Mapping.Schemes.(
+      x86_to_arm Qemu_frontend { lowering = `Qemu; rmw = Helper_gcc10 })
+  in
+  let qemu_gcc9 =
+    Mapping.Schemes.(
+      x86_to_arm Qemu_frontend { lowering = `Qemu; rmw = Helper_gcc9 })
+  in
+  let risotto =
+    let fe, be = Mapping.Schemes.risotto_rmw2_preset in
+    Mapping.Schemes.x86_to_arm fe be
+  in
+  let risotto_casal =
+    let fe, be = Mapping.Schemes.risotto_casal_preset in
+    Mapping.Schemes.x86_to_arm fe be
+  in
+  check "Qemu (gcc10/casal) on MPQ  [par.3.2 error 1]" qemu_gcc10 arm_fix
+    Litmus.Catalog.mpq_x86 true;
+  check "Qemu (gcc9/ldaxr-stlxr) on SBQ  [par.3.2 error 2]" qemu_gcc9 arm_fix
+    Litmus.Catalog.sbq_x86 true;
+  check "Arm-Cats direct mapping on SBAL, original model  [par.3.3]"
+    Mapping.Schemes.x86_to_arm_direct_armcats arm_orig Litmus.Catalog.sbal_x86
+    true;
+  check "Arm-Cats direct mapping on SBAL, corrected model  [fix]"
+    Mapping.Schemes.x86_to_arm_direct_armcats arm_fix Litmus.Catalog.sbal_x86
+    false;
+  check "Risotto verified mapping (rmw2) on MPQ" risotto arm_fix
+    Litmus.Catalog.mpq_x86 false;
+  check "Risotto verified mapping (rmw2) on SBQ" risotto arm_fix
+    Litmus.Catalog.sbq_x86 false;
+  check "Risotto casal mapping on SBAL, corrected model" risotto_casal arm_fix
+    Litmus.Catalog.sbal_x86 false;
+  (* FMR: the RAW transformation at IR level (§3.2 error 3). *)
+  let tcgm = Axiom.Tcg_model.model in
+  let raw_applied =
+    List.hd
+      (Mapping.Transform.applications Mapping.Transform.Raw
+         Litmus.Catalog.fmr_tcg_src)
+  in
+  let r =
+    Mapping.Check.refines ~src_model:tcgm ~tgt_model:tcgm
+      ~src:Litmus.Catalog.fmr_tcg_src ~tgt:raw_applied
+  in
+  Format.printf "  %-58s %s (expected VIOLATION)@."
+    "RAW elimination across Fmr (FMR)  [par.3.2 error 3]"
+    (if r.Mapping.Check.ok then "correct" else "VIOLATION")
+
+(* ------------------------------------------------------------------ *)
+(* Figures 8/9: mapping minimality                                     *)
+
+let minimality () =
+  section "Figures 8/9: mapping minimality (every rule is load-bearing)";
+  let x86 = Axiom.X86_tso.model and tcg = Axiom.Tcg_model.model in
+  let drop_kind k scheme p =
+    Litmus.Ast.map_instrs
+      (function Litmus.Ast.Fence f when f = k -> [] | i -> [ i ])
+      (scheme p)
+  in
+  let base = Mapping.Schemes.(x86_to_tcg Risotto_frontend) in
+  let broken scheme =
+    List.filter_map
+      (fun (name, src) ->
+        if
+          (Mapping.Check.refines ~src_model:x86 ~tgt_model:tcg ~src
+             ~tgt:(scheme src))
+            .Mapping.Check.ok
+        then None
+        else Some name)
+      Litmus.Catalog.mapping_corpus
+  in
+  Format.printf "  full Figure-7a scheme: %d broken programs@."
+    (List.length (broken base));
+  List.iter
+    (fun (label, kind) ->
+      Format.printf "  without %-4s: breaks %s@." label
+        (String.concat ", " (broken (drop_kind kind base))))
+    [
+      ("Frm", Axiom.Event.F_rm);
+      ("Fww", Axiom.Event.F_ww);
+      ("Fsc", Axiom.Event.F_sc);
+    ];
+  (* Per-token necessity inside the Figure-8 witnesses. *)
+  List.iter
+    (fun name ->
+      let src = List.assoc name Litmus.Catalog.mapping_corpus in
+      let sites =
+        Mapping.Minimality.necessary_fences base ~src_model:x86 ~tgt_model:tcg
+          src
+      in
+      Format.printf "  %s image: %a@." name
+        (Fmt.list ~sep:Fmt.comma Mapping.Minimality.pp_site)
+        sites)
+    [ "LB"; "MP" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 12-15                                                       *)
+
+let figures () =
+  section "Figure 12: PARSEC / Phoenix run time";
+  Harness.Figures.pp_fig12 ppf (Harness.Figures.fig12 ());
+  section "Figure 13: OpenSSL / sqlite (dynamic host linker)";
+  Harness.Figures.pp_fig13 ppf (Harness.Figures.fig13 ());
+  section "Figure 14: libm (dynamic host linker)";
+  Harness.Figures.pp_fig14 ppf (Harness.Figures.fig14 ());
+  section "Figure 15: CAS throughput";
+  Harness.Figures.pp_fig15 ppf (Harness.Figures.fig15 ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablations () =
+  section "Ablation: fence merging (tcg-ver with vs without the pass)";
+  Format.printf "%-18s %12s %12s %9s@." "benchmark" "with-merge" "no-merge"
+    "saved";
+  List.iter
+    (fun (name, w, wo) ->
+      Format.printf "%-18s %12d %12d %8.2f%%@." name w wo
+        (100. *. (1. -. (float_of_int w /. float_of_int wo))))
+    (Harness.Ablation.fence_merge ());
+  section "Ablation: CAS line-transfer cost sweep (4 threads / 1 var)";
+  Format.printf "%-10s %12s %12s %10s@." "transfer" "qemu" "risotto" "gain";
+  List.iter
+    (fun (t, q, r) ->
+      Format.printf "%-10d %12.3e %12.3e %9.1f%%@." t q r
+        (100. *. ((r /. q) -. 1.)))
+    (Harness.Ablation.cas_transfer_sweep ());
+  section "Static translation statistics (freqmine)";
+  Format.printf "%-12s %8s %10s@." "config" "dmbs" "tcg-ops";
+  List.iter
+    (fun (name, dmbs, ops) -> Format.printf "%-12s %8d %10d@." name dmbs ops)
+    (Harness.Ablation.static_fences "freqmine")
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure           *)
+
+let bechamel_benches () =
+  section "Bechamel: wall-clock micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  let stage = Staged.stage in
+  let fig12_one config =
+    let spec = (Harness.Parsec.find "freqmine").Harness.Parsec.spec in
+    let spec = { spec with Harness.Kernel.iters = 100 } in
+    fun () -> ignore (Harness.Kernel.run_dbt config spec)
+  in
+  let fig13_one () =
+    ignore
+      (Harness.Libbench.run
+         {
+           Harness.Libbench.label = "sha256-1024";
+           func = "sha256";
+           kind = Harness.Libbench.Digest 1024;
+           calls = 1;
+         })
+  in
+  let fig14_one () =
+    ignore
+      (Harness.Libbench.run
+         {
+           Harness.Libbench.label = "sin";
+           func = "sin";
+           kind = Harness.Libbench.Scalar (Int64.bits_of_float 0.5);
+           calls = 10;
+         })
+  in
+  let fig15_one () =
+    ignore (Harness.Casbench.run { Harness.Casbench.threads = 4; vars = 1 })
+  in
+  let sec3_one () =
+    let fe, be = Mapping.Schemes.risotto_casal_preset in
+    ignore
+      (Mapping.Check.refines ~src_model:Axiom.X86_tso.model
+         ~tgt_model:(Axiom.Arm_cats.model Axiom.Arm_cats.Corrected)
+         ~src:Litmus.Catalog.mpq_x86
+         ~tgt:(Mapping.Schemes.x86_to_arm fe be Litmus.Catalog.mpq_x86))
+  in
+  let litmus_one () =
+    ignore
+      (Litmus.Enumerate.behaviours Axiom.X86_tso.model Litmus.Catalog.mp_x86)
+  in
+  let translate_image =
+    Image.Gelf.build ~entry:"main"
+      (Harness.Kernel.to_x86
+         {
+           Harness.Kernel.name = "tb";
+           iters = 1;
+           mix =
+             { Harness.Kernel.loads = 6; stores = 2; arith = 8; fp = 0; locks = 0 };
+         })
+  in
+  let translate_one () =
+    let eng = Core.Engine.create Core.Config.risotto translate_image in
+    ignore (Core.Engine.lookup_block eng translate_image.Image.Gelf.entry)
+  in
+  Bechamel_runner.run ~name:"risotto"
+    [
+      Test.make ~name:"fig12/freqmine/qemu" (stage (fig12_one Core.Config.qemu));
+      Test.make ~name:"fig12/freqmine/risotto"
+        (stage (fig12_one Core.Config.risotto));
+      Test.make ~name:"fig13/sha256-1024" (stage fig13_one);
+      Test.make ~name:"fig14/sin" (stage fig14_one);
+      Test.make ~name:"fig15/cas-4-1" (stage fig15_one);
+      Test.make ~name:"sec3/theorem1-MPQ" (stage sec3_one);
+      Test.make ~name:"litmus/enumerate-MP" (stage litmus_one);
+      Test.make ~name:"dbt/translate-block" (stage translate_one);
+    ]
+
+let () =
+  mapping_tables ();
+  correctness_findings ();
+  minimality ();
+  figures ();
+  ablations ();
+  if not no_bechamel then bechamel_benches ();
+  Format.printf "@.done.@."

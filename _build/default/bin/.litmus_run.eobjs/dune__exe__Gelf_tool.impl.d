@@ -1,0 +1,1 @@
+bin/gelf_tool.ml: Arg Arm Buffer Cmd Cmdliner Core Format Image Int64 List Logs String Term X86

@@ -1,0 +1,1 @@
+bin/gelf_tool.mli:

@@ -1,0 +1,1 @@
+bin/litmus_run.ml: Arg Axiom Cmd Cmdliner Format List Litmus String Term

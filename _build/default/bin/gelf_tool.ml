@@ -1,0 +1,141 @@
+(* gelf_tool: inspect and run guest binary images.
+
+     dune exec bin/gelf_tool.exe -- demo /tmp/prog.gelf   # build a demo image
+     dune exec bin/gelf_tool.exe -- dis /tmp/prog.gelf    # disassemble
+     dune exec bin/gelf_tool.exe -- run /tmp/prog.gelf -c risotto *)
+
+open Cmdliner
+module I = X86.Insn
+module R = X86.Reg
+
+let configs = List.map (fun c -> (c.Core.Config.name, c)) Core.Config.all
+
+let demo path =
+  let open X86.Asm in
+  let items =
+    [
+      Label "main";
+      Ins (I.Mov_ri (R.RDI, 10L));
+      Call_lbl "fact";
+      Ins (I.Store (I.abs 0x5000L, I.R R.RAX));
+      Ins (I.Mov_ri (R.RAX, 60L));
+      Ins (I.Mov_ri (R.RDI, 0L));
+      Ins I.Syscall;
+      Label "fact";
+      Ins (I.Mov_ri (R.RAX, 1L));
+      Label "floop";
+      Ins (I.Test (R.RDI, I.R R.RDI));
+      Jcc_lbl (I.E, "fdone");
+      Ins (I.Alu (I.Imul, R.RAX, I.R R.RDI));
+      Ins (I.Dec R.RDI);
+      Jmp_lbl "floop";
+      Label "fdone";
+      Ins I.Ret;
+    ]
+  in
+  let image = Image.Gelf.build ~entry:"main" items in
+  Image.Gelf.save image path;
+  Format.printf "wrote %s (%d bytes of guest code)@." path
+    (String.length image.Image.Gelf.text);
+  0
+
+let dis path =
+  let image = Image.Gelf.load path in
+  Format.printf "entry: 0x%Lx, text: %d bytes at 0x%Lx@." image.Image.Gelf.entry
+    (String.length image.Image.Gelf.text)
+    image.Image.Gelf.text_base;
+  List.iter
+    (fun (name, addr) -> Format.printf "symbol %-16s 0x%Lx@." name addr)
+    (List.sort (fun (_, a) (_, b) -> compare a b) image.Image.Gelf.symbols);
+  let len = String.length image.Image.Gelf.text in
+  let rec go pc =
+    if Int64.to_int (Int64.sub pc image.Image.Gelf.text_base) < len then begin
+      let insn, ilen =
+        X86.Decode.decode image.Image.Gelf.text ~pc
+          ~base:image.Image.Gelf.text_base
+      in
+      Format.printf "%8Lx: %a@." pc I.pp insn;
+      go (Int64.add pc (Int64.of_int ilen))
+    end
+  in
+  go image.Image.Gelf.text_base;
+  0
+
+let run path config_name trace =
+  if trace then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Core.Engine.log_src (Some Logs.Debug)
+  end;
+  match List.assoc_opt config_name configs with
+  | None ->
+      Format.eprintf "unknown config %S (one of: %s)@." config_name
+        (String.concat ", " (List.map fst configs));
+      1
+  | Some config ->
+      let image = Image.Gelf.load path in
+      let eng = Core.Engine.create config image in
+      let g = Core.Engine.run eng in
+      let arm = g.Core.Engine.arm in
+      if Buffer.length arm.Arm.Machine.output > 0 then
+        print_string (Buffer.contents arm.Arm.Machine.output);
+      Format.printf
+        "[%s] exit=%Ld cycles=%d insns=%d fences=%d blocks=%d chained=%d \
+         rax=%Ld@."
+        config.Core.Config.name arm.Arm.Machine.exit_code
+        (Core.Engine.cycles g) arm.Arm.Machine.insns arm.Arm.Machine.fences
+        (Core.Engine.stats eng).Core.Engine.blocks_translated
+        (Core.Engine.stats eng).Core.Engine.chained
+        (Core.Engine.reg g R.RAX);
+      Int64.to_int arm.Arm.Machine.exit_code land 0xFF
+
+let asm src dst entry =
+  let ic = open_in src in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match X86.Parse.parse text with
+  | exception X86.Parse.Error { line; msg } ->
+      Format.eprintf "%s:%d: %s@." src line msg;
+      1
+  | items ->
+      let image = Image.Gelf.build ~entry items in
+      Image.Gelf.save image dst;
+      Format.printf "assembled %s -> %s (%d bytes, entry 0x%Lx)@." src dst
+        (String.length image.Image.Gelf.text)
+        image.Image.Gelf.entry;
+      0
+
+let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let config_arg =
+  Arg.(
+    value & opt string "risotto"
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:"DBT configuration: qemu, no-fences, tcg-ver or risotto.")
+
+let src_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"SRC")
+let dst_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"DST")
+
+let entry_arg =
+  Arg.(
+    value & opt string "main"
+    & info [ "e"; "entry" ] ~docv:"LABEL" ~doc:"Entry label.")
+
+let asm_cmd =
+  Cmd.v (Cmd.info "asm" ~doc:"Assemble a text file into an image")
+    Term.(const asm $ src_arg $ dst_arg $ entry_arg)
+
+let demo_cmd = Cmd.v (Cmd.info "demo" ~doc:"Write a demo image") Term.(const demo $ path_arg)
+let dis_cmd = Cmd.v (Cmd.info "dis" ~doc:"Disassemble an image") Term.(const dis $ path_arg)
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Trace every executed block.")
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Run an image under the DBT")
+    Term.(const run $ path_arg $ config_arg $ trace_arg)
+
+let () =
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "gelf_tool" ~doc:"Guest image tool")
+          [ asm_cmd; demo_cmd; dis_cmd; run_cmd ]))

@@ -1,0 +1,73 @@
+(* litmus_run: check .litmus test files against their expectations under
+   a memory model — the CI entry point for the litmus corpus.
+
+     dune exec bin/litmus_run.exe -- litmus/MP.litmus -m x86
+     dune exec bin/litmus_run.exe -- litmus/*.litmus -m arm *)
+
+open Cmdliner
+
+let models =
+  [
+    ("sc", Axiom.Sc_model.model);
+    ("x86", Axiom.X86_tso.model);
+    ("arm", Axiom.Arm_cats.model Axiom.Arm_cats.Corrected);
+    ("arm-orig", Axiom.Arm_cats.model Axiom.Arm_cats.Original);
+    ("tcg", Axiom.Tcg_model.model);
+  ]
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let run_one model verbose path =
+  match Litmus.Parser.parse (read_file path) with
+  | exception Litmus.Parser.Error { line; msg } ->
+      Format.printf "%-28s PARSE ERROR at line %d: %s@." path line msg;
+      false
+  | test ->
+      let v = Litmus.Enumerate.check model test in
+      Format.printf "%-28s %-6s (%s: %a, %d behaviours)@." path
+        (if v.Litmus.Enumerate.ok then "OK" else "FAIL")
+        model.Axiom.Model.name Litmus.Ast.pp_expectation test.Litmus.Ast.expect
+        v.Litmus.Enumerate.total_consistent;
+      if verbose && not v.Litmus.Enumerate.ok then
+        List.iter
+          (fun b ->
+            Format.printf "    witness: %a@." Litmus.Enumerate.pp_behaviour b)
+          v.Litmus.Enumerate.witnesses;
+      v.Litmus.Enumerate.ok
+
+let main files model_name verbose =
+  match List.assoc_opt model_name models with
+  | None ->
+      Format.eprintf "unknown model %S (one of: %s)@." model_name
+        (String.concat ", " (List.map fst models));
+      1
+  | Some model ->
+      let ok = List.map (run_one model verbose) files in
+      let failures = List.length (List.filter not ok) in
+      Format.printf "%d/%d tests hold@."
+        (List.length ok - failures)
+        (List.length ok);
+      if failures = 0 then 0 else 1
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Litmus files.")
+
+let model_arg =
+  Arg.(
+    value & opt string "x86"
+    & info [ "m"; "model" ] ~docv:"MODEL"
+        ~doc:"Memory model: sc, x86, arm, arm-orig or tcg.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print witnesses on failure.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "litmus_run" ~doc:"Check litmus files against their expectations")
+    Term.(const main $ files_arg $ model_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

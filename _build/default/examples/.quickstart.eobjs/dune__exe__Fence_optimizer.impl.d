@@ -1,0 +1,1 @@
+examples/fence_optimizer.ml: Arm Array Core Format Image Linker List String Tcg X86

@@ -1,0 +1,1 @@
+examples/host_linker_demo.ml: Arm Core Format Harness Image Int64 Linker List String X86

@@ -1,0 +1,1 @@
+examples/litmus_explorer.ml: Arg Axiom Cmd Cmdliner Format List Litmus String Term

@@ -1,0 +1,1 @@
+examples/mapping_audit.ml: Axiom Format List Litmus Mapping

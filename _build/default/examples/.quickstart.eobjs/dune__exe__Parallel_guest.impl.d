@@ -1,0 +1,1 @@
+examples/parallel_guest.ml: Arm Core Format Image Int64 List X86

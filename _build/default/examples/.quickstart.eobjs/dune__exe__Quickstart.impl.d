@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arm Array Buffer Core Format Image List Memsys String Tcg X86

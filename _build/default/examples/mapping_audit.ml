@@ -1,0 +1,83 @@
+(* Mapping audit: the executable counterpart of the paper's §3 and §5 —
+   check every mapping scheme for Theorem-1 refinement over the litmus
+   corpus and print the violating behaviours (the bug witnesses).
+
+     dune exec examples/mapping_audit.exe *)
+
+module S = Mapping.Schemes
+
+let x86 = Axiom.X86_tso.model
+let tcg = Axiom.Tcg_model.model
+let arm_orig = Axiom.Arm_cats.model Axiom.Arm_cats.Original
+let arm_fix = Axiom.Arm_cats.model Axiom.Arm_cats.Corrected
+
+let audit ~title ~name f ~src_model ~tgt_model =
+  Format.printf "@.== %s ==@." title;
+  let reports =
+    Mapping.Check.check_scheme ~name f ~src_model ~tgt_model
+      Litmus.Catalog.mapping_corpus
+  in
+  List.iter (fun r -> Format.printf "  %a@." Mapping.Check.pp_report r) reports;
+  let bad = List.filter (fun r -> not r.Mapping.Check.ok) reports in
+  Format.printf "  => %d/%d programs refine@."
+    (List.length reports - List.length bad)
+    (List.length reports)
+
+let () =
+  Format.printf
+    "Theorem 1: a translation is correct iff every consistent target@.\
+     behaviour is a consistent source behaviour.  Checked exhaustively@.\
+     over the litmus corpus (the executable analogue of the paper's@.\
+     14k-line Agda development).@.";
+
+  audit ~title:"Verified x86 -> TCG IR (Figure 7a)" ~name:"fig7a"
+    (S.x86_to_tcg S.Risotto_frontend) ~src_model:x86 ~tgt_model:tcg;
+
+  audit ~title:"Qemu x86 -> TCG IR (Figure 2) — note the MPQ failure"
+    ~name:"fig2" (S.x86_to_tcg S.Qemu_frontend) ~src_model:x86 ~tgt_model:tcg;
+
+  let fe, be = S.risotto_rmw2_preset in
+  audit ~title:"Risotto end-to-end (rmw2), original Arm-Cats" ~name:"risotto"
+    (S.x86_to_arm fe be) ~src_model:x86 ~tgt_model:arm_orig;
+
+  let fe, be = S.risotto_casal_preset in
+  audit
+    ~title:
+      "Risotto end-to-end (casal), original Arm-Cats — SBAL shows why the \
+       model fix (§3.3) was needed"
+    ~name:"casal-orig" (S.x86_to_arm fe be) ~src_model:x86 ~tgt_model:arm_orig;
+
+  audit ~title:"Risotto end-to-end (casal), corrected Arm-Cats"
+    ~name:"casal-fixed" (S.x86_to_arm fe be) ~src_model:x86 ~tgt_model:arm_fix;
+
+  let fe, be = S.qemu_preset in
+  audit ~title:"Qemu end-to-end (gcc10 helper) — the §3.2 MPQ bug"
+    ~name:"qemu-gcc10" (S.x86_to_arm fe be) ~src_model:x86 ~tgt_model:arm_fix;
+
+  audit ~title:"Qemu end-to-end (gcc9 helper) — the §3.2 SBQ bug"
+    ~name:"qemu-gcc9"
+    (S.x86_to_arm S.Qemu_frontend { S.lowering = `Qemu; rmw = S.Helper_gcc9 })
+    ~src_model:x86 ~tgt_model:arm_fix;
+
+  audit ~title:"Arm-Cats 'intended' direct mapping (Figure 3) vs original model"
+    ~name:"fig3-orig" S.x86_to_arm_direct_armcats ~src_model:x86
+    ~tgt_model:arm_orig;
+
+  (* Figure 10 transformations at the IR level. *)
+  Format.printf "@.== Figure 10 transformations (TCG model both sides) ==@.";
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun (name, p) ->
+          List.iter
+            (fun r ->
+              if not r.Mapping.Check.ok then
+                Format.printf "  %s on %s: %a@."
+                  (Mapping.Transform.rule_name rule)
+                  name Mapping.Check.pp_report r)
+            (Mapping.Transform.soundness rule p))
+        Mapping.Transform.corpus)
+    Mapping.Transform.all_rules;
+  Format.printf
+    "  (the only violation above is RAW on FMR — the paper's §3.2 example@.\
+    \   of why the verified frontend avoids Fmr/Fwr fences)@."

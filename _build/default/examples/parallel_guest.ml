@@ -1,0 +1,96 @@
+(* A concurrent guest binary: the main thread spawns workers through
+   the clone syscall; workers chunk-sum an array with atomic
+   accumulation; main spin-waits and prints the total.  This is the
+   kind of multi-threaded x86 program the paper's whole pipeline is
+   about — run it under all four configurations and compare cycles and
+   fences.
+
+     dune exec examples/parallel_guest.exe *)
+
+module I = X86.Insn
+module R = X86.Reg
+open X86.Asm
+
+let workers = 4
+let chunk = 64 (* array elements per worker *)
+let array_base = 0x20000L
+let acc = I.abs 0x7000L
+let done_ctr = I.abs 0x7040L
+
+(* worker(rdi = chunk index): sum array[chunk] and xadd into acc. *)
+let worker =
+  [
+    Label "worker";
+    (* r9 = &array[rdi * chunk] *)
+    Ins (I.Mov_rr (R.R9, R.RDI));
+    Ins (I.Alu (I.Imul, R.R9, I.I (Int64.of_int (8 * chunk))));
+    Ins (I.Alu (I.Add, R.R9, I.I array_base));
+    Ins (I.Mov_ri (R.RAX, 0L));
+    Ins (I.Mov_ri (R.RCX, Int64.of_int chunk));
+    Label "wloop";
+    Ins (I.Load (R.RDX, I.based R.R9 0L));
+    Ins (I.Alu (I.Add, R.RAX, I.R R.RDX));
+    Ins (I.Alu (I.Add, R.R9, I.I 8L));
+    Ins (I.Dec R.RCX);
+    Ins (I.Test (R.RCX, I.R R.RCX));
+    Jcc_lbl (I.Ne, "wloop");
+    Ins (I.Lock_xadd (acc, R.RAX));
+    Ins (I.Mov_ri (R.R8, 1L));
+    Ins (I.Lock_xadd (done_ctr, R.R8));
+    Ins I.Hlt;
+  ]
+
+let main =
+  [
+    Label "main";
+    (* initialise the array: array[i] = i + 1 *)
+    Ins (I.Mov_ri (R.R9, array_base));
+    Ins (I.Mov_ri (R.RCX, 1L));
+    Label "init";
+    Ins (I.Store (I.based R.R9 0L, I.R R.RCX));
+    Ins (I.Alu (I.Add, R.R9, I.I 8L));
+    Ins (I.Inc R.RCX);
+    Ins (I.Cmp (R.RCX, I.I (Int64.of_int ((workers * chunk) + 1))));
+    Jcc_lbl (I.Ne, "init");
+    (* spawn the workers *)
+    Ins (I.Mov_ri (R.RSI, 0L));
+    Label "spawn_loop";
+    Ins (I.Mov_ri (R.RAX, 56L));
+    Mov_lbl (R.RDI, "worker");
+    Ins I.Syscall;
+    Ins (I.Inc R.RSI);
+    Ins (I.Cmp (R.RSI, I.I (Int64.of_int workers)));
+    Jcc_lbl (I.Ne, "spawn_loop");
+    (* wait for all workers *)
+    Label "wait";
+    Ins (I.Load (R.RBX, done_ctr));
+    Ins (I.Cmp (R.RBX, I.I (Int64.of_int workers)));
+    Jcc_lbl (I.Ne, "wait");
+    Ins (I.Load (R.R13, acc));
+    Ins I.Hlt;
+  ]
+
+(* clone(fn, arg): rsi already holds the chunk index. *)
+let items =
+  main @ worker
+
+let () =
+  let n = workers * chunk in
+  Format.printf "guest: %d workers summing %d elements (expect %d)@." workers n
+    (n * (n + 1) / 2);
+  Format.printf "@.%-12s %10s %10s %8s %9s %s@." "config" "result" "cycles"
+    "fences" "atomics" "threads";
+  List.iter
+    (fun config ->
+      let image = Image.Gelf.build ~entry:"main" items in
+      let eng = Core.Engine.create config image in
+      let main_t = Core.Engine.spawn eng ~tid:0 ~entry:image.Image.Gelf.entry () in
+      let all = Core.Engine.run_concurrent eng [ main_t ] in
+      let total f = List.fold_left (fun a g -> a + f g.Core.Engine.arm) 0 all in
+      Format.printf "%-12s %10Ld %10d %8d %9d %d@." config.Core.Config.name
+        (Core.Engine.reg main_t R.R13)
+        (total (fun t -> t.Arm.Machine.cycles))
+        (total (fun t -> t.Arm.Machine.fences))
+        (total (fun t -> t.Arm.Machine.helper_calls))
+        (List.length all))
+    Core.Config.all

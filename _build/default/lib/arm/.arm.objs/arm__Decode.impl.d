@@ -1,0 +1,1 @@
+lib/arm/decode.ml: Array Char Insn Int64 List Printf String

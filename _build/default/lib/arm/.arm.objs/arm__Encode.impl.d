@@ -1,0 +1,1 @@
+lib/arm/encode.ml: Array Buffer Char Insn Int64 List String

@@ -1,0 +1,1 @@
+lib/arm/machine.ml: Array Buffer Cost Hashtbl Insn Int64 List Memsys

@@ -1,0 +1,1 @@
+lib/arm/machine.mli: Buffer Cost Insn Memsys

@@ -1,0 +1,40 @@
+type t = {
+  base : int;
+  mul : int;
+  ldr : int;
+  str : int;
+  dmb_full : int;
+  dmb_ld : int;
+  dmb_st : int;
+  dmb_chained : int;
+  acq_rel_extra : int;
+  excl : int;
+  cas : int;
+  line_transfer : int;
+  branch : int;
+  fp : int;
+  helper_call : int;
+  host_call : int;
+  marshal_per_arg : int;
+}
+
+let default =
+  {
+    base = 1;
+    mul = 4;
+    ldr = 4;
+    str = 4;
+    dmb_full = 16;
+    dmb_ld = 14;
+    dmb_st = 5;
+    dmb_chained = 4;
+    acq_rel_extra = 4;
+    excl = 8;
+    cas = 20;
+    line_transfer = 70;
+    branch = 2;
+    fp = 5;
+    helper_call = 24;
+    host_call = 12;
+    marshal_per_arg = 35;
+  }

@@ -1,0 +1,33 @@
+(** Cycle cost model for the Arm subset.
+
+    Calibrated to the qualitative structure reported for ThunderX2-class
+    cores (cf. Liu et al., "No Barrier in the Road", PPoPP'20, the
+    paper's [51]): a full DMB is far more expensive than DMB.LD, which is
+    more expensive than DMB.ST; back-to-back barriers are almost free
+    because the pipeline is already drained (this is what makes fence
+    {e merging} profitable); contended atomics pay a cache-line transfer.
+
+    All figures are in (model) cycles; the evaluation harness reports
+    ratios, so only the relative structure matters. *)
+
+type t = {
+  base : int;  (** simple ALU / mov *)
+  mul : int;
+  ldr : int;
+  str : int;
+  dmb_full : int;
+  dmb_ld : int;
+  dmb_st : int;
+  dmb_chained : int;  (** a DMB immediately after another DMB *)
+  acq_rel_extra : int;  (** extra cost of LDAR/LDAPR/STLR over LDR/STR *)
+  excl : int;  (** LDXR or STXR *)
+  cas : int;  (** uncontended CAS instruction *)
+  line_transfer : int;  (** cache-line ownership transfer on atomics *)
+  branch : int;
+  fp : int;  (** native scalar double op *)
+  helper_call : int;  (** BLR + spill + RET round trip into a helper *)
+  host_call : int;  (** call into a native shared library *)
+  marshal_per_arg : int;  (** per-argument guest↔host marshaling (§6.2) *)
+}
+
+val default : t

@@ -1,0 +1,194 @@
+open Insn
+
+exception Bad_encoding of int * string
+
+type cursor = { s : string; mutable pos : int }
+
+let byte c =
+  if c.pos >= String.length c.s then raise (Bad_encoding (c.pos, "truncated"));
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let i32 c =
+  (* sequential lets: `and` bindings have unspecified evaluation order *)
+  let b0 = byte c in
+  let b1 = byte c in
+  let b2 = byte c in
+  let b3 = byte c in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let i64 c =
+  let r = ref 0L in
+  for i = 0 to 7 do
+    r := Int64.logor !r (Int64.shift_left (Int64.of_int (byte c)) (8 * i))
+  done;
+  !r
+
+let str c =
+  let n = byte c in
+  if c.pos + n > String.length c.s then
+    raise (Bad_encoding (c.pos, "truncated string"));
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let alu_of = function
+  | 0 -> Add
+  | 1 -> Sub
+  | 2 -> And
+  | 3 -> Orr
+  | 4 -> Eor
+  | 5 -> Lsl
+  | 6 -> Lsr
+  | 7 -> Mul
+  | n -> invalid_arg (string_of_int n)
+
+let fp_of = function
+  | 0 -> Fadd
+  | 1 -> Fsub
+  | 2 -> Fmul
+  | 3 -> Fdiv
+  | 4 -> Fsqrt
+  | n -> invalid_arg (string_of_int n)
+
+let barrier_of = function
+  | 0 -> Full
+  | 1 -> Ld
+  | 2 -> St
+  | n -> invalid_arg (string_of_int n)
+
+let cc_of = function
+  | 0 -> Eq
+  | 1 -> Ne
+  | 2 -> Lt
+  | 3 -> Le
+  | 4 -> Gt
+  | 5 -> Ge
+  | 6 -> Lo
+  | 7 -> Ls
+  | 8 -> Hi
+  | 9 -> Hs
+  | n -> invalid_arg (string_of_int n)
+
+let operand c =
+  match byte c with
+  | 0 -> R (byte c)
+  | 1 -> I (i64 c)
+  | n -> raise (Bad_encoding (c.pos, Printf.sprintf "bad operand tag %d" n))
+
+let acq_rel c =
+  let bits = byte c in
+  (bits land 1 = 1, bits land 2 = 2)
+
+let reglist c =
+  let n = byte c in
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (byte c :: acc) in
+  go 0 []
+let ret_reg c = match byte c with 0xFF -> None | r -> Some r
+
+let decode_insn c =
+  let pos = c.pos in
+  match byte c with
+  | 0x01 ->
+      let r = byte c in
+      Movz (r, i64 c)
+  | 0x02 ->
+      let a = byte c in
+      Mov (a, byte c)
+  | op when op >= 0x10 && op < 0x18 ->
+      let d = byte c in
+      let a = byte c in
+      Alu (alu_of (op - 0x10), d, a, operand c)
+  | 0x03 ->
+      let d = byte c in
+      let base = byte c in
+      Ldr (d, base, i64 c)
+  | 0x04 ->
+      let s = byte c in
+      let base = byte c in
+      Str (s, base, i64 c)
+  | 0x05 ->
+      let d = byte c in
+      Ldar (d, byte c)
+  | 0x06 ->
+      let d = byte c in
+      Ldapr (d, byte c)
+  | 0x07 ->
+      let s = byte c in
+      Stlr (s, byte c)
+  | 0x08 ->
+      let d = byte c in
+      Ldxr (d, byte c)
+  | 0x09 ->
+      let d = byte c in
+      Ldaxr (d, byte c)
+  | 0x0A ->
+      let st = byte c in
+      let s = byte c in
+      Stxr (st, s, byte c)
+  | 0x0B ->
+      let st = byte c in
+      let s = byte c in
+      Stlxr (st, s, byte c)
+  | 0x0C ->
+      let acq, rel = acq_rel c in
+      let cmp = byte c in
+      let swap = byte c in
+      Cas { acq; rel; cmp; swap; base = byte c }
+  | 0x0D ->
+      let acq, rel = acq_rel c in
+      let old = byte c in
+      let src = byte c in
+      Ldadd { acq; rel; old; src; base = byte c }
+  | 0x0E ->
+      let acq, rel = acq_rel c in
+      let old = byte c in
+      let src = byte c in
+      Swp { acq; rel; old; src; base = byte c }
+  | 0x20 -> Dmb (barrier_of (byte c))
+  | 0x21 ->
+      let r = byte c in
+      Cmp (r, operand c)
+  | 0x30 -> B (i32 c)
+  | op when op >= 0x31 && op < 0x3B ->
+      let cc = cc_of (op - 0x31) in
+      Bcc (cc, i32 c)
+  | 0x3B ->
+      let r = byte c in
+      Cbz (r, i32 c)
+  | 0x3C ->
+      let r = byte c in
+      Cbnz (r, i32 c)
+  | 0x3D ->
+      let r = byte c in
+      Cset (r, cc_of (byte c))
+  | op when op >= 0x40 && op < 0x45 ->
+      let d = byte c in
+      let a = byte c in
+      Fp (fp_of (op - 0x40), d, a, byte c)
+  | 0x50 ->
+      let name = str c in
+      let args = reglist c in
+      Blr_helper (name, args, ret_reg c)
+  | 0x51 ->
+      let func = str c in
+      let args = reglist c in
+      Host_call { func; args; ret = ret_reg c }
+  | 0x60 -> Goto_tb (i64 c)
+  | 0x61 -> Goto_ptr (byte c)
+  | 0x62 -> Exit_halt
+  | op -> raise (Bad_encoding (pos, Printf.sprintf "unknown opcode 0x%02x" op))
+
+let decode_block s pos =
+  let c = { s; pos } in
+  let n = i32 c in
+  (* Explicit loop: both tuple-component and Array.init evaluation
+     orders are unspecified, and decode_insn mutates the cursor. *)
+  let code = Array.make n Insn.Exit_halt in
+  for i = 0 to n - 1 do
+    code.(i) <- decode_insn c
+  done;
+  (code, c.pos)
+
+let block_of_string s = fst (decode_block s 0)

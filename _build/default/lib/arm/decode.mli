@@ -1,0 +1,9 @@
+(** Inverse of {!Encode} (round-trip tested). *)
+
+exception Bad_encoding of int * string
+
+(** [decode_block s pos] decodes a block, returning it and the position
+    after it. *)
+val decode_block : string -> int -> Insn.t array * int
+
+val block_of_string : string -> Insn.t array

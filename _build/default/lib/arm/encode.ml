@@ -1,0 +1,189 @@
+open Insn
+
+let put_byte b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_i32 b v =
+  for i = 0 to 3 do
+    put_byte b ((v lsr (8 * i)) land 0xFF)
+  done
+
+let put_i64 b (v : int64) =
+  for i = 0 to 7 do
+    put_byte b (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+  done
+
+let put_str b s =
+  put_byte b (String.length s);
+  Buffer.add_string b s
+
+let alu_index = function
+  | Add -> 0
+  | Sub -> 1
+  | And -> 2
+  | Orr -> 3
+  | Eor -> 4
+  | Lsl -> 5
+  | Lsr -> 6
+  | Mul -> 7
+
+let fp_index = function Fadd -> 0 | Fsub -> 1 | Fmul -> 2 | Fdiv -> 3 | Fsqrt -> 4
+let barrier_index = function Full -> 0 | Ld -> 1 | St -> 2
+
+let cc_index = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Le -> 3
+  | Gt -> 4
+  | Ge -> 5
+  | Lo -> 6
+  | Ls -> 7
+  | Hi -> 8
+  | Hs -> 9
+
+let put_operand b = function
+  | R r ->
+      put_byte b 0;
+      put_byte b r
+  | I i ->
+      put_byte b 1;
+      put_i64 b i
+
+let acq_rel_bits ~acq ~rel = (if acq then 1 else 0) lor if rel then 2 else 0
+
+let put_reglist b rs =
+  put_byte b (List.length rs);
+  List.iter (put_byte b) rs
+
+let put_ret b = function
+  | Some r -> put_byte b r
+  | None -> put_byte b 0xFF
+
+let encode_insn b = function
+  | Movz (r, v) ->
+      put_byte b 0x01;
+      put_byte b r;
+      put_i64 b v
+  | Mov (a, c) ->
+      put_byte b 0x02;
+      put_byte b a;
+      put_byte b c
+  | Alu (op, d, a, o) ->
+      put_byte b (0x10 + alu_index op);
+      put_byte b d;
+      put_byte b a;
+      put_operand b o
+  | Ldr (d, base, off) ->
+      put_byte b 0x03;
+      put_byte b d;
+      put_byte b base;
+      put_i64 b off
+  | Str (s, base, off) ->
+      put_byte b 0x04;
+      put_byte b s;
+      put_byte b base;
+      put_i64 b off
+  | Ldar (d, base) ->
+      put_byte b 0x05;
+      put_byte b d;
+      put_byte b base
+  | Ldapr (d, base) ->
+      put_byte b 0x06;
+      put_byte b d;
+      put_byte b base
+  | Stlr (s, base) ->
+      put_byte b 0x07;
+      put_byte b s;
+      put_byte b base
+  | Ldxr (d, base) ->
+      put_byte b 0x08;
+      put_byte b d;
+      put_byte b base
+  | Ldaxr (d, base) ->
+      put_byte b 0x09;
+      put_byte b d;
+      put_byte b base
+  | Stxr (st, s, base) ->
+      put_byte b 0x0A;
+      put_byte b st;
+      put_byte b s;
+      put_byte b base
+  | Stlxr (st, s, base) ->
+      put_byte b 0x0B;
+      put_byte b st;
+      put_byte b s;
+      put_byte b base
+  | Cas { acq; rel; cmp; swap; base } ->
+      put_byte b 0x0C;
+      put_byte b (acq_rel_bits ~acq ~rel);
+      put_byte b cmp;
+      put_byte b swap;
+      put_byte b base
+  | Ldadd { acq; rel; old; src; base } ->
+      put_byte b 0x0D;
+      put_byte b (acq_rel_bits ~acq ~rel);
+      put_byte b old;
+      put_byte b src;
+      put_byte b base
+  | Swp { acq; rel; old; src; base } ->
+      put_byte b 0x0E;
+      put_byte b (acq_rel_bits ~acq ~rel);
+      put_byte b old;
+      put_byte b src;
+      put_byte b base
+  | Dmb bar ->
+      put_byte b 0x20;
+      put_byte b (barrier_index bar)
+  | Cmp (r, o) ->
+      put_byte b 0x21;
+      put_byte b r;
+      put_operand b o
+  | B t ->
+      put_byte b 0x30;
+      put_i32 b t
+  | Bcc (cc, t) ->
+      put_byte b (0x31 + cc_index cc);
+      put_i32 b t
+  | Cbz (r, t) ->
+      put_byte b 0x3B;
+      put_byte b r;
+      put_i32 b t
+  | Cbnz (r, t) ->
+      put_byte b 0x3C;
+      put_byte b r;
+      put_i32 b t
+  | Cset (r, cc) ->
+      put_byte b 0x3D;
+      put_byte b r;
+      put_byte b (cc_index cc)
+  | Fp (op, d, a, c) ->
+      put_byte b (0x40 + fp_index op);
+      put_byte b d;
+      put_byte b a;
+      put_byte b c
+  | Blr_helper (name, args, ret) ->
+      put_byte b 0x50;
+      put_str b name;
+      put_reglist b args;
+      put_ret b ret
+  | Host_call { func; args; ret } ->
+      put_byte b 0x51;
+      put_str b func;
+      put_reglist b args;
+      put_ret b ret
+  | Goto_tb pc ->
+      put_byte b 0x60;
+      put_i64 b pc
+  | Goto_ptr r ->
+      put_byte b 0x61;
+      put_byte b r
+  | Exit_halt -> put_byte b 0x62
+
+let encode_block b code =
+  put_i32 b (Array.length code);
+  Array.iter (encode_insn b) code
+
+let block_to_string code =
+  let b = Buffer.create 256 in
+  encode_block b code;
+  Buffer.contents b

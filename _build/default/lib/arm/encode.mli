@@ -1,0 +1,14 @@
+(** Serialization of Arm code blocks.
+
+    A compact binary format for translated code buffers — one opcode
+    byte plus operands, with branch targets as instruction indices and
+    helper names inline.  This is the storage format of the persistent
+    translation cache (cf. the translation-caching systems discussed in
+    the paper's related work); {!Decode} is the exact inverse. *)
+
+val encode_insn : Buffer.t -> Insn.t -> unit
+
+(** Encode a whole block (instruction count followed by instructions). *)
+val encode_block : Buffer.t -> Insn.t array -> unit
+
+val block_to_string : Insn.t array -> string

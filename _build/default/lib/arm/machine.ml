@@ -1,0 +1,252 @@
+type exit_state = Next_tb of int64 | Jump of int64 | Halted
+
+type thread = {
+  tid : int;
+  regs : int64 array;
+  mutable cmp : int64 * int64;
+  mutable exclusive : int64 option;
+  mutable cycles : int;
+  mutable insns : int;
+  mutable fences : int;
+  mutable helper_calls : int;
+  mutable host_calls : int;
+  mutable last_dmb : bool;
+  mutable halted : bool;
+  mutable exit_code : int64;
+  output : Buffer.t;
+}
+
+type shared = {
+  s_mem : Memsys.Mem.t;
+  s_cost : Cost.t;
+  helpers : (string, helper) Hashtbl.t;
+}
+
+and helper = shared -> thread -> int64 list -> int64
+
+let create_shared ?(cost = Cost.default) mem =
+  { s_mem = mem; s_cost = cost; helpers = Hashtbl.create 16 }
+
+let mem s = s.s_mem
+let cost s = s.s_cost
+let register_helper s name h = Hashtbl.replace s.helpers name h
+let has_helper s name = Hashtbl.mem s.helpers name
+
+let create_thread tid =
+  {
+    tid;
+    regs = Array.make 32 0L;
+    cmp = (0L, 0L);
+    exclusive = None;
+    cycles = 0;
+    insns = 0;
+    fences = 0;
+    helper_calls = 0;
+    host_calls = 0;
+    last_dmb = false;
+    halted = false;
+    exit_code = 0L;
+    output = Buffer.create 16;
+  }
+
+let charge t c = t.cycles <- t.cycles + c
+
+(* Contention model: an atomic that must steal the line pays one
+   transfer per other sharer of the line (queueing on the coherence
+   interconnect grows with the number of contenders). *)
+let atomic_line s t addr =
+  if Memsys.Mem.acquire_line s.s_mem addr ~tid:t.tid then
+    let others = max 1 (Memsys.Mem.sharers s.s_mem addr - 1) in
+    charge t (s.s_cost.Cost.line_transfer * others)
+
+let eval_cc (cc : Insn.cc) (a, b) =
+  match cc with
+  | Insn.Eq -> Int64.equal a b
+  | Insn.Ne -> not (Int64.equal a b)
+  | Insn.Lt -> Int64.compare a b < 0
+  | Insn.Le -> Int64.compare a b <= 0
+  | Insn.Gt -> Int64.compare a b > 0
+  | Insn.Ge -> Int64.compare a b >= 0
+  | Insn.Lo -> Int64.unsigned_compare a b < 0
+  | Insn.Ls -> Int64.unsigned_compare a b <= 0
+  | Insn.Hi -> Int64.unsigned_compare a b > 0
+  | Insn.Hs -> Int64.unsigned_compare a b >= 0
+
+let alu_eval (op : Insn.alu) a b =
+  match op with
+  | Insn.Add -> Int64.add a b
+  | Insn.Sub -> Int64.sub a b
+  | Insn.And -> Int64.logand a b
+  | Insn.Orr -> Int64.logor a b
+  | Insn.Eor -> Int64.logxor a b
+  | Insn.Lsl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Insn.Lsr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Insn.Mul -> Int64.mul a b
+
+let fp_eval (op : Insn.fpop) a b =
+  let fa = Int64.float_of_bits a and fb = Int64.float_of_bits b in
+  Int64.bits_of_float
+    (match op with
+    | Insn.Fadd -> fa +. fb
+    | Insn.Fsub -> fa -. fb
+    | Insn.Fmul -> fa *. fb
+    | Insn.Fdiv -> fa /. fb
+    | Insn.Fsqrt -> sqrt fb)
+
+let exec_block s t (code : Insn.t array) =
+  let c = s.s_cost in
+  let get r = if r = Insn.xzr then 0L else t.regs.(r) in
+  let set r v = if r <> Insn.xzr then t.regs.(r) <- v in
+  let operand = function Insn.R r -> get r | Insn.I i -> i in
+  let fuel = ref 10_000_000 in
+  let rec go i =
+    decr fuel;
+    if !fuel <= 0 then failwith "Arm.Machine: runaway block";
+    if i >= Array.length code then failwith "Arm.Machine: block fell through";
+    let insn = code.(i) in
+    t.insns <- t.insns + 1;
+    let was_dmb = t.last_dmb in
+    t.last_dmb <- (match insn with Insn.Dmb _ -> true | _ -> false);
+    match insn with
+    | Insn.Movz (r, v) ->
+        charge t c.base;
+        set r v;
+        go (i + 1)
+    | Insn.Mov (a, b) ->
+        charge t c.base;
+        set a (get b);
+        go (i + 1)
+    | Insn.Alu (op, d, a, b) ->
+        charge t (match op with Insn.Mul -> c.mul | _ -> c.base);
+        set d (alu_eval op (get a) (operand b));
+        go (i + 1)
+    | Insn.Ldr (d, b, off) ->
+        charge t c.ldr;
+        set d (Memsys.Mem.load s.s_mem (Int64.add (get b) off));
+        go (i + 1)
+    | Insn.Str (src, b, off) ->
+        charge t c.str;
+        Memsys.Mem.store s.s_mem (Int64.add (get b) off) (get src);
+        go (i + 1)
+    | Insn.Ldar (d, b) | Insn.Ldapr (d, b) ->
+        charge t (c.ldr + c.acq_rel_extra);
+        set d (Memsys.Mem.load s.s_mem (get b));
+        go (i + 1)
+    | Insn.Stlr (src, b) ->
+        charge t (c.str + c.acq_rel_extra);
+        Memsys.Mem.store s.s_mem (get b) (get src);
+        go (i + 1)
+    | Insn.Ldxr (d, b) | Insn.Ldaxr (d, b) ->
+        charge t c.excl;
+        (match insn with
+        | Insn.Ldaxr _ -> charge t c.acq_rel_extra
+        | _ -> ());
+        let addr = get b in
+        t.exclusive <- Some addr;
+        set d (Memsys.Mem.load s.s_mem addr);
+        go (i + 1)
+    | Insn.Stxr (st, src, b) | Insn.Stlxr (st, src, b) ->
+        charge t c.excl;
+        (match insn with
+        | Insn.Stlxr _ -> charge t c.acq_rel_extra
+        | _ -> ());
+        let addr = get b in
+        (match t.exclusive with
+        | Some a when Int64.equal a addr ->
+            atomic_line s t addr;
+            Memsys.Mem.store s.s_mem addr (get src);
+            set st 0L
+        | _ -> set st 1L);
+        t.exclusive <- None;
+        go (i + 1)
+    | Insn.Cas { cmp; swap; base; acq; rel } ->
+        charge t c.cas;
+        if acq && rel then () (* casal cost already in c.cas *);
+        let addr = get base in
+        atomic_line s t addr;
+        let old = Memsys.Mem.load s.s_mem addr in
+        if Int64.equal old (get cmp) then
+          Memsys.Mem.store s.s_mem addr (get swap);
+        set cmp old;
+        go (i + 1)
+    | Insn.Ldadd { old; src; base; _ } ->
+        charge t c.cas;
+        let addr = get base in
+        atomic_line s t addr;
+        let cur = Memsys.Mem.load s.s_mem addr in
+        Memsys.Mem.store s.s_mem addr (Int64.add cur (get src));
+        set old cur;
+        go (i + 1)
+    | Insn.Swp { old; src; base; _ } ->
+        charge t c.cas;
+        let addr = get base in
+        atomic_line s t addr;
+        let cur = Memsys.Mem.load s.s_mem addr in
+        Memsys.Mem.store s.s_mem addr (get src);
+        set old cur;
+        go (i + 1)
+    | Insn.Dmb b ->
+        t.fences <- t.fences + 1;
+        charge t
+          (if was_dmb then c.dmb_chained
+           else
+             match b with
+             | Insn.Full -> c.dmb_full
+             | Insn.Ld -> c.dmb_ld
+             | Insn.St -> c.dmb_st);
+        go (i + 1)
+    | Insn.Cmp (r, o) ->
+        charge t c.base;
+        t.cmp <- (get r, operand o);
+        go (i + 1)
+    | Insn.B tgt ->
+        charge t c.branch;
+        go tgt
+    | Insn.Bcc (cc, tgt) ->
+        charge t c.branch;
+        if eval_cc cc t.cmp then go tgt else go (i + 1)
+    | Insn.Cbz (r, tgt) ->
+        charge t c.branch;
+        if Int64.equal (get r) 0L then go tgt else go (i + 1)
+    | Insn.Cbnz (r, tgt) ->
+        charge t c.branch;
+        if not (Int64.equal (get r) 0L) then go tgt else go (i + 1)
+    | Insn.Cset (r, cc) ->
+        charge t c.base;
+        set r (if eval_cc cc t.cmp then 1L else 0L);
+        go (i + 1)
+    | Insn.Fp (op, d, a, b) ->
+        charge t c.fp;
+        set d (fp_eval op (get a) (get b));
+        go (i + 1)
+    | Insn.Blr_helper (name, args, ret) ->
+        charge t c.helper_call;
+        t.helper_calls <- t.helper_calls + 1;
+        let h =
+          match Hashtbl.find_opt s.helpers name with
+          | Some h -> h
+          | None -> failwith ("Arm.Machine: unknown helper " ^ name)
+        in
+        let v = h s t (List.map get args) in
+        (match ret with Some r -> set r v | None -> ());
+        if t.halted then Halted else go (i + 1)
+    | Insn.Host_call { func; args; ret } ->
+        charge t (c.host_call + (c.marshal_per_arg * List.length args));
+        t.host_calls <- t.host_calls + 1;
+        let h =
+          match Hashtbl.find_opt s.helpers func with
+          | Some h -> h
+          | None -> failwith ("Arm.Machine: unknown host function " ^ func)
+        in
+        let v = h s t (List.map get args) in
+        (match ret with Some r -> set r v | None -> ());
+        if t.halted then Halted else go (i + 1)
+    | Insn.Goto_tb pc ->
+        charge t c.branch;
+        Next_tb pc
+    | Insn.Goto_ptr r ->
+        charge t c.branch;
+        Jump (get r)
+    | Insn.Exit_halt -> Halted
+  in
+  go 0

@@ -1,0 +1,48 @@
+(** The Arm host machine: executes translated code blocks, charging
+    model cycles per instruction ({!Cost}), tracking per-thread
+    statistics, the exclusive monitor for LDXR/STXR, and cache-line
+    ownership for the CAS contention model (§7.4). *)
+
+type exit_state = Next_tb of int64 | Jump of int64 | Halted
+
+type shared
+(** State shared by all guest threads: memory, cost model, helper
+    registry. *)
+
+type thread = {
+  tid : int;
+  regs : int64 array;  (** 32 registers; reads of 31 (XZR) return 0 *)
+  mutable cmp : int64 * int64;  (** lazy NZCV: last comparison *)
+  mutable exclusive : int64 option;  (** exclusive monitor address *)
+  mutable cycles : int;
+  mutable insns : int;
+  mutable fences : int;
+  mutable helper_calls : int;
+  mutable host_calls : int;
+  mutable last_dmb : bool;
+  mutable halted : bool;
+  mutable exit_code : int64;
+  output : Buffer.t;
+}
+
+(** A helper receives the shared state, the calling thread and its
+    arguments; it may charge extra cycles via {!charge}. *)
+type helper = shared -> thread -> int64 list -> int64
+
+val create_shared : ?cost:Cost.t -> Memsys.Mem.t -> shared
+val mem : shared -> Memsys.Mem.t
+val cost : shared -> Cost.t
+val register_helper : shared -> string -> helper -> unit
+val has_helper : shared -> string -> bool
+val create_thread : int -> thread
+
+(** Charge extra cycles to a thread (used by helpers). *)
+val charge : thread -> int -> unit
+
+(** Perform the cache-line ownership step of an atomic: acquires the
+    line for the thread and charges the transfer cost if it was owned
+    elsewhere. *)
+val atomic_line : shared -> thread -> int64 -> unit
+
+(** Execute a code block until it reaches an exit instruction. *)
+val exec_block : shared -> thread -> Insn.t array -> exit_state

@@ -1,0 +1,1 @@
+lib/axiom/arm_cats.ml: Event Execution Iset Model Rel Relalg

@@ -1,0 +1,1 @@
+lib/axiom/arm_cats.mli: Execution Model Relalg

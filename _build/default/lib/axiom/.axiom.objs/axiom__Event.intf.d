@@ -1,0 +1,1 @@
+lib/axiom/event.mli: Format

@@ -1,0 +1,1 @@
+lib/axiom/execution.ml: Event Fmt Format Iset List Printf Rel Relalg String

@@ -1,0 +1,1 @@
+lib/axiom/execution.mli: Event Format Iset Rel Relalg

@@ -1,0 +1,1 @@
+lib/axiom/explain.ml: Arm_cats Event Execution Fmt List Rel Relalg Sc_model Tcg_model X86_tso

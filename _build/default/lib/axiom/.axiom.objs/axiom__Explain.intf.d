@@ -1,0 +1,1 @@
+lib/axiom/explain.mli: Arm_cats Execution Format Model

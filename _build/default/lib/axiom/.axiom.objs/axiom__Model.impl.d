@@ -1,0 +1,1 @@
+lib/axiom/model.ml: Execution Rel Relalg

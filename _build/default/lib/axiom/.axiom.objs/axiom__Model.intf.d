@@ -1,0 +1,1 @@
+lib/axiom/model.mli: Execution

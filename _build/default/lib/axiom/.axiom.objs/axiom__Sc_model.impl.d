@@ -1,0 +1,1 @@
+lib/axiom/sc_model.ml: Execution Model Rel Relalg

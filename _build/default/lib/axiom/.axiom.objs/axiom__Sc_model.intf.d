@@ -1,0 +1,1 @@
+lib/axiom/sc_model.mli: Model

@@ -1,0 +1,1 @@
+lib/axiom/tcg_model.ml: Event Execution Iset Model Rel Relalg

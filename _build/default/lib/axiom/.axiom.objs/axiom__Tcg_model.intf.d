@@ -1,0 +1,1 @@
+lib/axiom/tcg_model.mli: Execution Model Relalg

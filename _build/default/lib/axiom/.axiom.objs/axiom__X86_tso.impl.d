@@ -1,0 +1,1 @@
+lib/axiom/x86_tso.ml: Event Execution Iset Model Rel Relalg

@@ -1,0 +1,1 @@
+lib/axiom/x86_tso.mli: Execution Model Relalg

@@ -1,0 +1,92 @@
+open Relalg
+
+type variant = Original | Corrected
+
+(* lws: local write successor — a memory event ordered to a po-later
+   same-location write. *)
+let lws x =
+  let w = Execution.writes x in
+  let m = Execution.mems x in
+  Rel.restrict m (Execution.po_loc x) w
+
+(* dob: dependency-ordered-before.  Litmus programs here produce data and
+   ctrl (and optionally addr) dependencies. *)
+let dob x =
+  let po = x.Execution.po in
+  let w = Execution.writes x in
+  let data = x.Execution.data
+  and addr = x.Execution.addr
+  and ctrl = x.Execution.ctrl in
+  let ctrl_w = Rel.compose ctrl (Rel.id w) in
+  let addr_po_w = Rel.compose addr (Rel.compose po (Rel.id w)) in
+  let dep_rfi = Rel.compose (Rel.union addr data) (Execution.rfi x) in
+  Rel.union_all [ addr; data; ctrl_w; addr_po_w; dep_rfi ]
+
+(* aob: atomic-ordered-before. *)
+let aob x =
+  let rmw = Execution.rmw x in
+  let aq = Iset.union (Execution.acq_reads x) (Execution.acq_pc_reads x) in
+  Rel.union rmw
+    (Rel.compose (Rel.id (Rel.codomain rmw))
+       (Rel.compose (Execution.rfi x) (Rel.id aq)))
+
+(* bob: barrier-ordered-before (Figure 5, including the standard
+   acquire/release clauses elided by the paper's "∪ ···"). *)
+let bob variant x =
+  let po = x.Execution.po in
+  let r = Execution.reads x and w = Execution.writes x in
+  let f = Execution.fences x Event.F_dmb_full in
+  let fld = Execution.fences x Event.F_dmb_ld in
+  let fst_ = Execution.fences x Event.F_dmb_st in
+  let a = Execution.acq_reads x in
+  let q = Execution.acq_pc_reads x in
+  let l = Execution.rel_writes x in
+  let seq rs = Rel.sequence rs in
+  let base =
+    [
+      seq [ po; Rel.id f; po ];
+      seq [ Rel.id r; po; Rel.id fld; po ];
+      seq [ Rel.id w; po; Rel.id fst_; po; Rel.id w ];
+      (* Acquire / acquirePC reads order with their po-successors. *)
+      seq [ Rel.id (Iset.union a q); po ];
+      (* Release writes order with their po-predecessors. *)
+      seq [ po; Rel.id l ];
+      (* A release is ordered with a later acquire. *)
+      seq [ Rel.id l; po; Rel.id a ];
+    ]
+  in
+  (* The amo clause: [A]; amo; [L] are the acquire-release
+     single-instruction RMWs (e.g. casal). *)
+  let amo_al =
+    Rel.sequence [ Rel.id a; x.Execution.amo; Rel.id l ]
+  in
+  let amo_clause =
+    match variant with
+    | Original -> [ seq [ po; amo_al; po ] ]
+    | Corrected ->
+        [
+          Rel.compose po (Rel.id (Rel.domain amo_al));
+          Rel.compose (Rel.id (Rel.codomain amo_al)) po;
+        ]
+  in
+  Rel.union_all (base @ amo_clause)
+
+let lob variant x =
+  Rel.transitive_closure
+    (Rel.union_all [ lws x; dob x; aob x; bob variant x ])
+
+let ob_base variant x =
+  Rel.union_all
+    [ Execution.rfe x; Execution.coe x; Execution.fre x; lob variant x ]
+
+let ob variant x = Rel.transitive_closure (ob_base variant x)
+
+let consistent variant x = Model.common x && Rel.irreflexive (ob variant x)
+
+let model variant =
+  let name =
+    match variant with
+    | Original -> "Arm-Cats (original)"
+    | Corrected -> "Arm-Cats (corrected)"
+  in
+  { Model.name; consistent = consistent variant }

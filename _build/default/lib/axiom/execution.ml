@@ -1,0 +1,161 @@
+open Relalg
+
+type t = {
+  events : Event.t list;
+  po : Rel.t;
+  rf : Rel.t;
+  co : Rel.t;
+  rmw_plain : Rel.t;
+  amo : Rel.t;
+  lxsx : Rel.t;
+  data : Rel.t;
+  ctrl : Rel.t;
+  addr : Rel.t;
+}
+
+let empty =
+  {
+    events = [];
+    po = Rel.empty;
+    rf = Rel.empty;
+    co = Rel.empty;
+    rmw_plain = Rel.empty;
+    amo = Rel.empty;
+    lxsx = Rel.empty;
+    data = Rel.empty;
+    ctrl = Rel.empty;
+    addr = Rel.empty;
+  }
+
+let find x id =
+  match List.find_opt (fun (e : Event.t) -> e.id = id) x.events with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Execution.find: no event %d" id)
+
+let select p x =
+  List.fold_left
+    (fun acc (e : Event.t) -> if p e then Iset.add e.id acc else acc)
+    Iset.empty x.events
+
+let all x = select (fun _ -> true) x
+let reads x = select Event.is_read x
+let writes x = select Event.is_write x
+let mems x = select Event.is_mem x
+let fences x k = select (Event.is_fence_kind k) x
+let fences_any x = select Event.is_fence x
+let acq_reads x = select (fun e -> Event.read_ord e = Some Event.R_acq) x
+let acq_pc_reads x = select (fun e -> Event.read_ord e = Some Event.R_acq_pc) x
+let rel_writes x = select (fun e -> Event.write_ord e = Some Event.W_rel) x
+let sc_reads x = select (fun e -> Event.read_ord e = Some Event.R_sc) x
+let sc_writes x = select (fun e -> Event.write_ord e = Some Event.W_sc) x
+let rmw x = Rel.union_all [ x.rmw_plain; x.amo; x.lxsx ]
+
+let same_loc x a b =
+  match (Event.loc (find x a), Event.loc (find x b)) with
+  | Some la, Some lb -> la = lb
+  | _ -> false
+
+let po_loc x = Rel.filter (same_loc x) x.po
+
+(* fr = rf⁻¹; co *)
+let fr x = Rel.compose (Rel.inverse x.rf) x.co
+
+let internal x a b =
+  let ea = find x a and eb = find x b in
+  ea.tid = eb.tid && not (Event.is_init ea)
+
+let external_part x r = Rel.filter (fun a b -> not (internal x a b)) r
+let internal_part x r = Rel.filter (internal x) r
+let rfe x = external_part x x.rf
+let rfi x = internal_part x x.rf
+let coe x = external_part x x.co
+let coi x = internal_part x x.co
+let fre x = external_part x (fr x)
+let fri x = internal_part x (fr x)
+
+let well_formed x =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let* () =
+    (* Every read has exactly one rf source, matching loc and value. *)
+    List.fold_left
+      (fun acc (e : Event.t) ->
+        let* () = acc in
+        if not (Event.is_read e) then Ok ()
+        else
+          let srcs = Iset.to_list (Rel.preds x.rf e.id) in
+          match srcs with
+          | [ w ] ->
+              let we = find x w in
+              if not (Event.is_write we) then err "rf source %d is not a write" w
+              else if Event.loc we <> Event.loc e then
+                err "rf source %d has wrong location for read %d" w e.id
+              else if Event.value we <> Event.value e then
+                err "rf source %d has wrong value for read %d" w e.id
+              else Ok ()
+          | [] -> err "read %d has no rf source" e.id
+          | _ -> err "read %d has several rf sources" e.id)
+      (Ok ()) x.events
+  in
+  let* () =
+    (* co is a strict total order per location, init writes first. *)
+    let locs =
+      List.filter_map (fun e -> if Event.is_write e then Event.loc e else None)
+        x.events
+      |> List.sort_uniq String.compare
+    in
+    List.fold_left
+      (fun acc l ->
+        let* () = acc in
+        let ws =
+          select (fun e -> Event.is_write e && Event.loc e = Some l) x
+        in
+        if not (Rel.is_strict_total_order_on ws (Rel.restrict ws x.co ws)) then
+          err "co is not a strict total order on %s" l
+        else
+          let inits = Iset.filter (fun w -> Event.is_init (find x w)) ws in
+          let non_inits = Iset.diff ws inits in
+          if
+            Iset.for_all
+              (fun i -> Iset.for_all (fun w -> Rel.mem i w x.co) non_inits)
+              inits
+          then Ok ()
+          else err "an init write of %s is not co-minimal" l)
+      (Ok ()) locs
+  in
+  let* () =
+    (* rmw pairs: immediate-po, same-location read/write. *)
+    Rel.fold
+      (fun r w acc ->
+        let* () = acc in
+        let er = find x r and ew = find x w in
+        if not (Event.is_read er && Event.is_write ew) then
+          err "rmw pair (%d,%d) is not read→write" r w
+        else if not (same_loc x r w) then
+          err "rmw pair (%d,%d) not same-location" r w
+        else if not (Rel.mem r w x.po) then err "rmw pair (%d,%d) not po" r w
+        else Ok ())
+      (rmw x) (Ok ())
+  in
+  Ok ()
+
+let behaviour x =
+  let ws = writes x in
+  let finals =
+    Iset.fold
+      (fun w acc ->
+        (* co-maximal: no same-location co-successor. *)
+        if Iset.is_empty (Rel.succs x.co w) then
+          let e = find x w in
+          match (Event.loc e, Event.value e) with
+          | Some l, Some v -> (l, v) :: acc
+          | _ -> acc
+        else acc)
+      ws []
+  in
+  List.sort compare finals
+
+let pp ppf x =
+  Fmt.pf ppf "@[<v>events:@,%a@,po=%a@,rf=%a@,co=%a@]"
+    (Fmt.list ~sep:Fmt.cut Event.pp)
+    x.events Rel.pp x.po Rel.pp x.rf Rel.pp x.co

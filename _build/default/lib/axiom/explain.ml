@@ -1,0 +1,53 @@
+open Relalg
+
+type which = Sc | X86 | Arm of Arm_cats.variant | Tcg
+
+type verdict = Consistent | Violates of { axiom : string; cycle : int list }
+
+let model_of = function
+  | Sc -> Sc_model.model
+  | X86 -> X86_tso.model
+  | Arm v -> Arm_cats.model v
+  | Tcg -> Tcg_model.model
+
+let coherence_rel x =
+  Rel.union_all
+    [ Execution.po_loc x; x.Execution.rf; x.Execution.co; Execution.fr x ]
+
+let check which x =
+  let try_axiom name rel k =
+    match Rel.find_cycle rel with
+    | Some cycle -> Violates { axiom = name; cycle }
+    | None -> k ()
+  in
+  let atomicity () =
+    let bad = Rel.inter (Execution.rmw x) (Rel.compose (Execution.fre x) (Execution.coe x)) in
+    match Rel.to_list bad with
+    | (r, w) :: _ -> Violates { axiom = "atomicity"; cycle = [ r; w ] }
+    | [] -> Consistent
+  in
+  try_axiom "sc-per-loc (coherence)" (coherence_rel x) @@ fun () ->
+  let global () =
+    match which with
+    | Sc ->
+        try_axiom "sequential consistency (po ∪ rf ∪ co ∪ fr)"
+          (Rel.union_all
+             [ x.Execution.po; x.Execution.rf; x.Execution.co; Execution.fr x ])
+          (fun () -> atomicity ())
+    | X86 -> try_axiom "x86 (GHB)" (X86_tso.ghb_base x) (fun () -> atomicity ())
+    | Arm v ->
+        try_axiom "Arm (external: ob)" (Arm_cats.ob_base v x) (fun () ->
+            atomicity ())
+    | Tcg ->
+        try_axiom "TCG (GOrd: ghb)" (Tcg_model.ghb_base x) (fun () ->
+            atomicity ())
+  in
+  global ()
+
+let pp_verdict x ppf = function
+  | Consistent -> Fmt.string ppf "consistent"
+  | Violates { axiom; cycle } ->
+      Fmt.pf ppf "violates %s via cycle:@," axiom;
+      List.iter
+        (fun id -> Fmt.pf ppf "    %a@," Event.pp (Execution.find x id))
+        cycle

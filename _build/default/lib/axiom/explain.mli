@@ -1,0 +1,17 @@
+(** Diagnostics: why is an execution inconsistent?
+
+    For each model, checks its axioms in order and reports the first
+    violated one with a witness cycle — the herd-style answer to "why is
+    this outcome forbidden?". *)
+
+type which = Sc | X86 | Arm of Arm_cats.variant | Tcg
+
+type verdict =
+  | Consistent
+  | Violates of { axiom : string; cycle : int list }
+      (** [cycle] is a list of event ids; consecutive (and last→first)
+          events are related by the axiom's relation. *)
+
+val check : which -> Execution.t -> verdict
+val model_of : which -> Model.t
+val pp_verdict : Execution.t -> Format.formatter -> verdict -> unit

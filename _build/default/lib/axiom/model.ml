@@ -1,0 +1,13 @@
+open Relalg
+
+type t = { name : string; consistent : Execution.t -> bool }
+
+let sc_per_loc x =
+  Rel.acyclic
+    (Rel.union_all [ Execution.po_loc x; x.Execution.rf; x.Execution.co; Execution.fr x ])
+
+let atomicity x =
+  let fre_coe = Rel.compose (Execution.fre x) (Execution.coe x) in
+  Rel.is_empty (Rel.inter (Execution.rmw x) fre_coe)
+
+let common x = sc_per_loc x && atomicity x

@@ -1,0 +1,17 @@
+(** Consistency models and the axioms common to x86, Arm and TCG IR
+    (paper §5.2): SC-per-location (coherence) and RMW atomicity. *)
+
+type t = {
+  name : string;
+  consistent : Execution.t -> bool;
+      (** Does the execution satisfy every axiom of the model? *)
+}
+
+(** Coherence: [(po-loc ∪ rf ∪ co ∪ fr)] is acyclic. *)
+val sc_per_loc : Execution.t -> bool
+
+(** Atomicity: [rmw ∩ (fre; coe) = ∅]. *)
+val atomicity : Execution.t -> bool
+
+(** Both common axioms. *)
+val common : Execution.t -> bool

@@ -1,0 +1,8 @@
+open Relalg
+
+let consistent x =
+  Model.common x
+  && Rel.acyclic
+       (Rel.union_all [ x.Execution.po; x.Execution.rf; x.Execution.co; Execution.fr x ])
+
+let model = { Model.name = "SC"; consistent }

@@ -1,0 +1,4 @@
+(** Sequential consistency: [(po ∪ rf ∪ co ∪ fr)] acyclic.  Used as a
+    reference model in tests. *)
+
+val model : Model.t

@@ -1,0 +1,39 @@
+open Relalg
+
+let ord x =
+  let po = x.Execution.po in
+  let r = Execution.reads x and w = Execution.writes x in
+  let m = Iset.union r w in
+  let f k = Execution.fences x k in
+  let fence_clause before kind after =
+    Rel.sequence [ Rel.id before; po; Rel.id (f kind); po; Rel.id after ]
+  in
+  let rmw = Execution.rmw x in
+  let rsc = Execution.sc_reads x and wsc = Execution.sc_writes x in
+  let sc_before = Iset.union wsc (Rel.domain rmw) in
+  let sc_after = Iset.union rsc (Rel.codomain rmw) in
+  let fsc = f Event.F_sc in
+  Rel.union_all
+    [
+      fence_clause r Event.F_rr r;
+      fence_clause r Event.F_rw w;
+      fence_clause r Event.F_rm m;
+      fence_clause w Event.F_wr r;
+      fence_clause w Event.F_ww w;
+      fence_clause w Event.F_wm m;
+      fence_clause m Event.F_mr r;
+      fence_clause m Event.F_mw w;
+      fence_clause m Event.F_mm m;
+      Rel.compose po (Rel.id sc_before);
+      Rel.compose (Rel.id sc_after) po;
+      Rel.compose po (Rel.id fsc);
+      Rel.compose (Rel.id fsc) po;
+    ]
+
+let ghb_base x =
+  Rel.union_all [ ord x; Execution.rfe x; Execution.coe x; Execution.fre x ]
+
+let ghb x = Rel.transitive_closure (ghb_base x)
+
+let consistent x = Model.common x && Rel.irreflexive (ghb x)
+let model = { Model.name = "TCG-IR"; consistent }

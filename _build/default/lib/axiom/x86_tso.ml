@@ -1,0 +1,22 @@
+open Relalg
+
+let ghb_base x =
+  let po = x.Execution.po in
+  let r = Execution.reads x and w = Execution.writes x in
+  let ppo =
+    Rel.inter
+      (Rel.union_all [ Rel.cross w w; Rel.cross r w; Rel.cross r r ])
+      po
+  in
+  let rmw = Execution.rmw x in
+  let at = Iset.union (Rel.domain rmw) (Rel.codomain rmw) in
+  let at_f = Iset.union at (Execution.fences x Event.F_mfence) in
+  let implied =
+    Rel.union (Rel.compose po (Rel.id at_f)) (Rel.compose (Rel.id at_f) po)
+  in
+  Rel.union_all
+    [ implied; ppo; Execution.rfe x; Execution.fr x; x.Execution.co ]
+
+let ghb x = Rel.transitive_closure (ghb_base x)
+let consistent x = Model.common x && Rel.irreflexive (ghb x)
+let model = { Model.name = "x86-TSO"; consistent }

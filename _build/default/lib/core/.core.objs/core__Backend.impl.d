@@ -1,0 +1,1 @@
+lib/core/backend.ml: Arm Array Axiom Config Hashtbl Int64 List Mapping Option Tcg

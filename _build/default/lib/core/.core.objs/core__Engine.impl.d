@@ -1,0 +1,1 @@
+lib/core/engine.ml: Arm Array Backend Buffer Char Config Frontend Hashtbl Helpers Image Int64 Linker List Logs Memsys Printf Queue String Tcg X86

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Arm Config Image Linker Logs Memsys Tcg X86

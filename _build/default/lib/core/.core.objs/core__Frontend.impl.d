@@ -1,0 +1,1 @@
+lib/core/frontend.ml: Axiom Config Image Int64 Linker List Printf Tcg X86

@@ -1,0 +1,1 @@
+lib/core/frontend.mli: Config Image Linker Tcg

@@ -1,0 +1,1 @@
+lib/core/helpers.ml: Arm Buffer Char Int64 Linker List Memsys

@@ -1,0 +1,1 @@
+lib/core/helpers.mli: Arm

@@ -1,0 +1,12 @@
+(** The DBT backend: lowers an (optimized) TCG block to Arm host code,
+    applying the Figure-7b fence lowering and the configured RMW
+    strategy.
+
+    Register convention: TCG globals 0–15 (guest GP registers) are
+    pinned to X0–X15; the lazy-flag globals to X16/X17; block-local
+    temps are linear-scan allocated in X19–X28; X29/X30 are backend
+    scratch. *)
+
+exception Register_pressure of int64
+
+val compile : Config.t -> Tcg.Block.t -> Arm.Insn.t array

@@ -1,0 +1,40 @@
+(** DBT configurations: the four setups of the paper's evaluation
+    (§7.1) plus the knobs they are made of. *)
+
+(** Which fences the frontend emits around guest accesses. *)
+type fence_scheme =
+  | Qemu_fences  (** Figure 2: [Fmr; ld], [Fmw; st] *)
+  | Risotto_fences  (** Figure 7a: [ld; Frm], [Fww; st] *)
+  | No_fences  (** incorrect oracle: no ordering enforcement *)
+
+(** How guest atomic RMWs are translated. *)
+type rmw_strategy =
+  | Helper of [ `Gcc9 | `Gcc10 ]
+      (** Qemu: call into a helper built on GCC atomics — an
+          [ldaxr]/[stlxr] pair with GCC 9, [casal] with GCC 10 (§3.1) *)
+  | Native_casal  (** Risotto: direct [casal] translation (§6.3) *)
+  | Native_rmw2  (** Risotto: [DMBFF; LDXR/STXR; DMBFF] (Figure 7b) *)
+
+type t = {
+  name : string;
+  fences : fence_scheme;
+  passes : Tcg.Pipeline.pass list;
+  rmw : rmw_strategy;
+  host_linker : bool;
+}
+
+(** Vanilla Qemu 6.1.0. *)
+val qemu : t
+
+(** Qemu with fence generation disabled (incorrect; performance
+    oracle). *)
+val no_fences : t
+
+(** Qemu with the verified mappings and fence merging. *)
+val tcg_ver : t
+
+(** Full Risotto: verified mappings, fence merging, host linker, native
+    CAS. *)
+val risotto : t
+
+val all : t list

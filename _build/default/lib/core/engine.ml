@@ -1,0 +1,246 @@
+let log_src = Logs.Src.create "risotto.engine" ~doc:"Risotto DBT engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stats = {
+  mutable blocks_translated : int;
+  mutable cache_hits : int;
+  mutable lookups : int;
+  mutable fences_emitted : int;
+  mutable tcg_ops_before_opt : int;
+  mutable tcg_ops_after_opt : int;
+  mutable chained : int;  (** block exits whose target was already cached *)
+}
+
+type t = {
+  config : Config.t;
+  image : Image.Gelf.t;
+  links : Linker.Link.t;
+  frontend : Frontend.t;
+  mem : Memsys.Mem.t;
+  shared : Arm.Machine.shared;
+  code_cache : (int64, Arm.Insn.t array) Hashtbl.t;
+  tcg_cache : (int64, Tcg.Block.t) Hashtbl.t;
+  stats : stats;
+  pending_spawns : (int * int64 * int64) Queue.t;  (* tid, entry, arg *)
+  next_tid : int ref;
+}
+
+type guest_thread = {
+  arm : Arm.Machine.thread;
+  mutable pc : int64;
+  mutable finished : bool;
+}
+
+let create ?cost ?idl config image =
+  (* Default IDL: everything the host library provides (when the linker
+     is enabled).  Pass [~idl:[]] explicitly to link nothing. *)
+  let idl =
+    match idl with
+    | Some sigs -> sigs
+    | None ->
+        if config.Config.host_linker then
+          Linker.Idl.parse Linker.Hostlib.idl_text
+        else []
+  in
+  let links = Linker.Link.resolve image idl in
+  let mem = Memsys.Mem.create () in
+  let shared = Arm.Machine.create_shared ?cost mem in
+  let pending_spawns = Queue.create () in
+  let next_tid = ref 0 in
+  Helpers.register_all
+    ~on_clone:(fun ~entry ~arg ->
+      let tid = !next_tid in
+      incr next_tid;
+      Queue.push (tid, entry, arg) pending_spawns;
+      Int64.of_int tid)
+    shared;
+  let t = {
+    config;
+    image;
+    links;
+    frontend = Frontend.create config image links;
+    mem;
+    shared;
+    code_cache = Hashtbl.create 64;
+    tcg_cache = Hashtbl.create 64;
+    stats =
+      {
+        blocks_translated = 0;
+        cache_hits = 0;
+        lookups = 0;
+        fences_emitted = 0;
+        tcg_ops_before_opt = 0;
+        tcg_ops_after_opt = 0;
+        chained = 0;
+      };
+    pending_spawns;
+    next_tid;
+  }
+  in
+  t
+
+let config t = t.config
+let memory t = t.mem
+let stats t = t.stats
+let links t = t.links
+let stack_top tid = Int64.sub 0x8000_0000L (Int64.of_int (tid * 0x10000))
+
+let translate t pc =
+  let raw = Frontend.translate t.frontend pc in
+  Log.info (fun m ->
+      m "translate tb@0x%Lx: %d guest insns -> %d tcg ops" pc
+        raw.Tcg.Block.guest_insns (Tcg.Block.op_count raw));
+  let optimized = Tcg.Pipeline.run t.config.Config.passes raw in
+  let code = Backend.compile t.config optimized in
+  t.stats.blocks_translated <- t.stats.blocks_translated + 1;
+  t.stats.tcg_ops_before_opt <-
+    t.stats.tcg_ops_before_opt + Tcg.Block.op_count raw;
+  t.stats.tcg_ops_after_opt <-
+    t.stats.tcg_ops_after_opt + Tcg.Block.op_count optimized;
+  t.stats.fences_emitted <-
+    t.stats.fences_emitted
+    + Array.fold_left
+        (fun n i -> match i with Arm.Insn.Dmb _ -> n + 1 | _ -> n)
+        0 code;
+  Hashtbl.replace t.tcg_cache pc optimized;
+  Hashtbl.replace t.code_cache pc code;
+  code
+
+let lookup_block t pc =
+  t.stats.lookups <- t.stats.lookups + 1;
+  match Hashtbl.find_opt t.code_cache pc with
+  | Some code ->
+      t.stats.cache_hits <- t.stats.cache_hits + 1;
+      code
+  | None -> translate t pc
+
+let tcg_block t pc =
+  ignore (lookup_block t pc);
+  Hashtbl.find t.tcg_cache pc
+
+let spawn t ~tid ~entry ?(regs = []) () =
+  t.next_tid := max !(t.next_tid) (tid + 1);
+  let arm = Arm.Machine.create_thread tid in
+  arm.Arm.Machine.regs.(X86.Reg.index X86.Reg.RSP) <- stack_top tid;
+  List.iter
+    (fun (r, v) -> arm.Arm.Machine.regs.(X86.Reg.index r) <- v)
+    regs;
+  { arm; pc = entry; finished = false }
+
+(* Threads created by the guest's clone syscall since the last drain. *)
+let drain_spawns t =
+  let spawned = ref [] in
+  while not (Queue.is_empty t.pending_spawns) do
+    let tid, entry, arg = Queue.pop t.pending_spawns in
+    let g = spawn t ~tid ~entry ~regs:[ (X86.Reg.RDI, arg) ] () in
+    spawned := g :: !spawned
+  done;
+  List.rev !spawned
+
+let step_block t g =
+  if not g.finished then begin
+    let code = lookup_block t g.pc in
+    Log.debug (fun m ->
+        m "T%d exec tb@0x%Lx (%d host insns)" g.arm.Arm.Machine.tid g.pc
+          (Array.length code));
+    match Arm.Machine.exec_block t.shared g.arm code with
+    | Arm.Machine.Next_tb pc ->
+        (* A static exit whose target is already translated would be
+           patched into a direct jump by a chaining DBT: count it. *)
+        if Hashtbl.mem t.code_cache pc then t.stats.chained <- t.stats.chained + 1;
+        g.pc <- pc
+    | Arm.Machine.Jump pc -> g.pc <- pc
+    | Arm.Machine.Halted ->
+        Log.debug (fun m -> m "T%d halted" g.arm.Arm.Machine.tid);
+        g.finished <- true
+  end
+
+(* Round-robin at block granularity; guest clone syscalls may add
+   threads between rounds. *)
+let run_concurrent ?(max_blocks = 50_000_000) t threads =
+  let all = ref threads in
+  let n = ref 0 in
+  let live () = List.exists (fun g -> not g.finished) !all in
+  while live () && !n < max_blocks do
+    List.iter
+      (fun g ->
+        if not g.finished then begin
+          incr n;
+          step_block t g
+        end)
+      !all;
+    match drain_spawns t with
+    | [] -> ()
+    | spawned -> all := !all @ spawned
+  done;
+  !all
+
+let run_thread ?max_blocks t g = ignore (run_concurrent ?max_blocks t [ g ])
+
+let run ?max_blocks ?regs t =
+  let g = spawn t ~tid:0 ~entry:t.image.Image.Gelf.entry ?regs () in
+  run_thread ?max_blocks t g;
+  g
+
+let reg g r = g.arm.Arm.Machine.regs.(X86.Reg.index r)
+let cycles g = g.arm.Arm.Machine.cycles
+
+(* ------------------------------------------------------------------ *)
+(* Persistent translation cache: translated host code keyed by guest
+   pc, reusable across runs (cf. the translation-caching systems in the
+   paper's related work, e.g. WOW64).  The cache is only valid for the
+   configuration that produced it. *)
+
+let cache_magic = "RSTC1\n"
+
+let save_cache t path =
+  let oc = open_out_bin path in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b cache_magic;
+  Buffer.add_char b (Char.chr (String.length t.config.Config.name));
+  Buffer.add_string b t.config.Config.name;
+  let entries =
+    Hashtbl.fold (fun pc code acc -> (pc, code) :: acc) t.code_cache []
+    |> List.sort compare
+  in
+  Buffer.add_string b (Printf.sprintf "%08d" (List.length entries));
+  List.iter
+    (fun (pc, code) ->
+      Buffer.add_string b (Printf.sprintf "%016Lx" pc);
+      Arm.Encode.encode_block b code)
+    entries;
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  List.length entries
+
+exception Bad_cache of string
+
+let load_cache t path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let pos = ref 0 in
+  let take n =
+    if !pos + n > String.length s then raise (Bad_cache "truncated");
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  if take (String.length cache_magic) <> cache_magic then
+    raise (Bad_cache "bad magic");
+  let name_len = Char.code (take 1).[0] in
+  let name = take name_len in
+  if name <> t.config.Config.name then
+    raise
+      (Bad_cache
+         (Printf.sprintf "cache was built for config %S, engine runs %S" name
+            t.config.Config.name));
+  let count = int_of_string (take 8) in
+  for _ = 1 to count do
+    let pc = Int64.of_string ("0x" ^ take 16) in
+    let code, pos' = Arm.Decode.decode_block s !pos in
+    pos := pos';
+    Hashtbl.replace t.code_cache pc code
+  done;
+  count

@@ -1,0 +1,95 @@
+(** The Risotto execution engine (Figure 4): translation-block cache,
+    execution loop, guest threads and statistics.
+
+    Guest GP registers live pinned in host registers X0–X15; guest
+    threads share the guest memory and the code cache, and are scheduled
+    round-robin at translation-block granularity. *)
+
+type stats = {
+  mutable blocks_translated : int;
+  mutable cache_hits : int;
+  mutable lookups : int;
+  mutable fences_emitted : int;  (** DMBs in translated code *)
+  mutable tcg_ops_before_opt : int;
+  mutable tcg_ops_after_opt : int;
+  mutable chained : int;
+      (** static block exits whose target was already translated — the
+          directly-patchable jumps a chaining DBT would use *)
+}
+
+(** Engine log source ([risotto.engine]): [info] logs translations,
+    [debug] traces every executed block. *)
+val log_src : Logs.src
+
+type t
+
+type guest_thread = {
+  arm : Arm.Machine.thread;
+  mutable pc : int64;
+  mutable finished : bool;
+}
+
+(** Create an engine.  [idl] defaults to the full host-library IDL when
+    the config enables the linker; pass [~idl:[]] to disable linking of
+    everything. *)
+val create :
+  ?cost:Arm.Cost.t -> ?idl:Linker.Idl.signature list -> Config.t ->
+  Image.Gelf.t -> t
+
+val config : t -> Config.t
+val memory : t -> Memsys.Mem.t
+val stats : t -> stats
+val links : t -> Linker.Link.t
+
+(** Lowest address of the default stack area; thread [tid] gets the
+    64 KiB below [stack_top tid]. *)
+val stack_top : int -> int64
+
+(** Create a guest thread starting at [entry]; [regs] preloads guest
+    registers. *)
+val spawn :
+  t -> tid:int -> entry:int64 -> ?regs:(X86.Reg.t * int64) list -> unit ->
+  guest_thread
+
+(** Translate (or fetch from cache) the block at an address. *)
+val lookup_block : t -> int64 -> Arm.Insn.t array
+
+(** The optimized TCG block at an address (for inspection). *)
+val tcg_block : t -> int64 -> Tcg.Block.t
+
+(** Execute one translation block of the thread. *)
+val step_block : t -> guest_thread -> unit
+
+(** Run a thread until it halts (or the block budget is exhausted). *)
+val run_thread : ?max_blocks:int -> t -> guest_thread -> unit
+
+(** Round-robin over the threads (at translation-block granularity)
+    until all halt.  Threads the guest creates through the clone
+    syscall (56) join the rotation; the returned list includes them.
+    Guest syscalls: 1 write, 56 clone(fn, arg), 60 exit, 186 gettid. *)
+val run_concurrent :
+  ?max_blocks:int -> t -> guest_thread list -> guest_thread list
+
+(** Convenience: spawn a single thread at the image entry, run it, and
+    return it. *)
+val run : ?max_blocks:int -> ?regs:(X86.Reg.t * int64) list -> t -> guest_thread
+
+(** Guest register value of a thread. *)
+val reg : guest_thread -> X86.Reg.t -> int64
+
+val cycles : guest_thread -> int
+
+(** {1 Persistent translation cache}
+
+    Translated code can be saved after a run and reloaded by a later
+    engine with the same configuration, skipping retranslation (cf. the
+    caching translators in the paper's related work). *)
+
+exception Bad_cache of string
+
+(** Returns the number of blocks written. *)
+val save_cache : t -> string -> int
+
+(** Returns the number of blocks loaded.  Raises {!Bad_cache} when the
+    file is corrupt or was produced by a different configuration. *)
+val load_cache : t -> string -> int

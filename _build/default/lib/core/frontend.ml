@@ -1,0 +1,387 @@
+module E = Axiom.Event
+module Op = Tcg.Op
+
+type t = {
+  config : Config.t;
+  image : Image.Gelf.t;
+  links : Linker.Link.t;
+}
+
+let create config image links = { config; image; links }
+let max_block_insns = 32
+
+(* Translation-time state: op accumulator (reversed), temp and label
+   allocators. *)
+type ctx = {
+  mutable ops : Op.t list;
+  mutable next_temp : Op.temp;
+  mutable next_label : int;
+}
+
+let emit ctx op = ctx.ops <- op :: ctx.ops
+
+let fresh_temp ctx =
+  let t = ctx.next_temp in
+  ctx.next_temp <- t + 1;
+  t
+
+let fresh_label ctx =
+  let l = ctx.next_label in
+  ctx.next_label <- l + 1;
+  l
+
+let greg r = Op.guest_reg (X86.Reg.index r)
+
+let log2_scale = function
+  | 1 -> 0L
+  | 2 -> 1L
+  | 4 -> 2L
+  | 8 -> 3L
+  | s -> invalid_arg (Printf.sprintf "frontend: bad scale %d" s)
+
+(* Effective address of an x86 memory operand as (base temp, offset). *)
+let ea ctx (m : X86.Insn.mem) =
+  match (m.base, m.index) with
+  | Some b, None -> (greg b, m.disp)
+  | None, None ->
+      let t = fresh_temp ctx in
+      emit ctx (Op.Movi (t, m.disp));
+      (t, 0L)
+  | base, Some (i, scale) ->
+      let t = fresh_temp ctx in
+      emit ctx (Op.Binopi (Op.Shl, t, greg i, log2_scale scale));
+      (match base with
+      | Some b -> emit ctx (Op.Binop (Op.Add, t, t, greg b))
+      | None -> ());
+      (t, m.disp)
+
+(* Guest load/store with the configured mapping scheme. *)
+let guest_load ctx fences dst base off =
+  match (fences : Config.fence_scheme) with
+  | Config.Qemu_fences ->
+      emit ctx (Op.Mb E.F_mr);
+      emit ctx (Op.Ld (dst, base, off))
+  | Config.Risotto_fences ->
+      emit ctx (Op.Ld (dst, base, off));
+      emit ctx (Op.Mb E.F_rm)
+  | Config.No_fences -> emit ctx (Op.Ld (dst, base, off))
+
+let guest_store ctx fences src base off =
+  match (fences : Config.fence_scheme) with
+  | Config.Qemu_fences ->
+      emit ctx (Op.Mb E.F_mw);
+      emit ctx (Op.St (src, base, off))
+  | Config.Risotto_fences ->
+      emit ctx (Op.Mb E.F_ww);
+      emit ctx (Op.St (src, base, off))
+  | Config.No_fences -> emit ctx (Op.St (src, base, off))
+
+let alu_binop : X86.Insn.alu -> Op.binop = function
+  | X86.Insn.Add -> Op.Add
+  | X86.Insn.Sub -> Op.Sub
+  | X86.Insn.And -> Op.And
+  | X86.Insn.Or -> Op.Or
+  | X86.Insn.Xor -> Op.Xor
+  | X86.Insn.Shl -> Op.Shl
+  | X86.Insn.Shr -> Op.Shr
+  | X86.Insn.Imul -> Op.Mul
+
+let negate_cond : Op.cond -> Op.cond = function
+  | Op.Eq -> Op.Ne
+  | Op.Ne -> Op.Eq
+  | Op.Lt -> Op.Ge
+  | Op.Le -> Op.Gt
+  | Op.Gt -> Op.Le
+  | Op.Ge -> Op.Lt
+  | Op.Ltu -> Op.Geu
+  | Op.Leu -> Op.Gtu
+  | Op.Gtu -> Op.Leu
+  | Op.Geu -> Op.Ltu
+
+let cond_of_cc : X86.Insn.cc -> Op.cond = function
+  | X86.Insn.E -> Op.Eq
+  | X86.Insn.Ne -> Op.Ne
+  | X86.Insn.L -> Op.Lt
+  | X86.Insn.Le -> Op.Le
+  | X86.Insn.G -> Op.Gt
+  | X86.Insn.Ge -> Op.Ge
+  | X86.Insn.B -> Op.Ltu
+  | X86.Insn.Be -> Op.Leu
+  | X86.Insn.A -> Op.Gtu
+  | X86.Insn.Ae -> Op.Geu
+
+let fp_helper : X86.Insn.fpop -> string = function
+  | X86.Insn.Fadd -> "sf_add"
+  | X86.Insn.Fsub -> "sf_sub"
+  | X86.Insn.Fmul -> "sf_mul"
+  | X86.Insn.Fdiv -> "sf_div"
+  | X86.Insn.Fsqrt -> "sf_sqrt"
+
+let rsp = greg X86.Reg.RSP
+let rax = greg X86.Reg.RAX
+
+(* Stack push/pop are ordinary guest stores/loads: Qemu cannot know the
+   stack is thread-private, so they receive mapping fences too. *)
+let push ctx fences src =
+  emit ctx (Op.Binopi (Op.Sub, rsp, rsp, 8L));
+  guest_store ctx fences src rsp 0L
+
+let pop ctx fences dst =
+  guest_load ctx fences dst rsp 0L;
+  emit ctx (Op.Binopi (Op.Add, rsp, rsp, 8L))
+
+(* Set the lazy flags from a comparison of [a] with source [b]. *)
+let set_flags ctx a b =
+  emit ctx (Op.Mov (Op.cmp_a, a));
+  match b with
+  | X86.Insn.R r -> emit ctx (Op.Mov (Op.cmp_b, greg r))
+  | X86.Insn.I i -> emit ctx (Op.Movi (Op.cmp_b, i))
+
+(* x86 CMPXCHG semantics around an SC compare-and-swap of RAX with the
+   operand register: flags := CMP(RAX, old); RAX := old.  (On success
+   RAX is unchanged since RAX = old.) *)
+let cmpxchg_flags ctx old =
+  emit ctx (Op.Mov (Op.cmp_a, rax));
+  emit ctx (Op.Mov (Op.cmp_b, old));
+  emit ctx (Op.Mov (rax, old))
+
+let helper_name (config : Config.t) base =
+  match config.rmw with
+  | Config.Helper `Gcc9 -> base ^ "_gcc9"
+  | Config.Helper `Gcc10 | Config.Native_casal | Config.Native_rmw2 ->
+      base ^ "_gcc10"
+
+(* One guest instruction.  Returns [true] when the block ends here. *)
+let translate_insn t ctx pc next_pc (insn : X86.Insn.t) =
+  let fences = t.config.Config.fences in
+  ignore pc;
+  match insn with
+  | X86.Insn.Mov_ri (r, imm) ->
+      emit ctx (Op.Movi (greg r, imm));
+      false
+  | X86.Insn.Mov_rr (a, b) ->
+      emit ctx (Op.Mov (greg a, greg b));
+      false
+  | X86.Insn.Load (r, m) ->
+      let base, off = ea ctx m in
+      guest_load ctx fences (greg r) base off;
+      false
+  | X86.Insn.Store (m, src) ->
+      let base, off = ea ctx m in
+      let v =
+        match src with
+        | X86.Insn.R r -> greg r
+        | X86.Insn.I i ->
+            let tv = fresh_temp ctx in
+            emit ctx (Op.Movi (tv, i));
+            tv
+      in
+      guest_store ctx fences v base off;
+      false
+  | X86.Insn.Alu (op, r, src) ->
+      (match src with
+      | X86.Insn.R r2 -> emit ctx (Op.Binop (alu_binop op, greg r, greg r, greg r2))
+      | X86.Insn.I i -> emit ctx (Op.Binopi (alu_binop op, greg r, greg r, i)));
+      false
+  | X86.Insn.Fp (op, a, b) ->
+      (* SSE scalar doubles are emulated in software (§7.3): every FP
+         instruction becomes a helper call. *)
+      emit ctx (Op.Call (fp_helper op, [ greg a; greg b ], Some (greg a)));
+      false
+  | X86.Insn.Lea (r, m) ->
+      let base, off = ea ctx m in
+      if Int64.equal off 0L then emit ctx (Op.Mov (greg r, base))
+      else emit ctx (Op.Binopi (Op.Add, greg r, base, off));
+      false
+  | X86.Insn.Inc r ->
+      emit ctx (Op.Binopi (Op.Add, greg r, greg r, 1L));
+      false
+  | X86.Insn.Dec r ->
+      emit ctx (Op.Binopi (Op.Sub, greg r, greg r, 1L));
+      false
+  | X86.Insn.Neg r ->
+      let t = fresh_temp ctx in
+      emit ctx (Op.Movi (t, 0L));
+      emit ctx (Op.Binop (Op.Sub, greg r, t, greg r));
+      false
+  | X86.Insn.Not r ->
+      emit ctx (Op.Binopi (Op.Xor, greg r, greg r, -1L));
+      false
+  | X86.Insn.Cmov (cc, a, b) ->
+      (* Branchless in real backends; a short forward branch here. *)
+      let l = fresh_label ctx in
+      emit ctx
+        (Op.Brcond (negate_cond (cond_of_cc cc), Op.cmp_a, Op.cmp_b, l));
+      emit ctx (Op.Mov (greg a, greg b));
+      emit ctx (Op.Set_label l);
+      false
+  | X86.Insn.Test (r, src) ->
+      let t = fresh_temp ctx in
+      (match src with
+      | X86.Insn.R r2 -> emit ctx (Op.Binop (Op.And, t, greg r, greg r2))
+      | X86.Insn.I i -> emit ctx (Op.Binopi (Op.And, t, greg r, i)));
+      emit ctx (Op.Mov (Op.cmp_a, t));
+      emit ctx (Op.Movi (Op.cmp_b, 0L));
+      false
+  | X86.Insn.Cmp (r, src) ->
+      set_flags ctx (greg r) src;
+      false
+  | X86.Insn.Jmp target ->
+      emit ctx (Op.Goto_tb target);
+      true
+  | X86.Insn.Jcc (cc, target) ->
+      let l = fresh_label ctx in
+      emit ctx (Op.Brcond (cond_of_cc cc, Op.cmp_a, Op.cmp_b, l));
+      emit ctx (Op.Goto_tb next_pc);
+      emit ctx (Op.Set_label l);
+      emit ctx (Op.Goto_tb target);
+      true
+  | X86.Insn.Call target ->
+      let tret = fresh_temp ctx in
+      emit ctx (Op.Movi (tret, next_pc));
+      push ctx fences tret;
+      emit ctx (Op.Goto_tb target);
+      true
+  | X86.Insn.Ret ->
+      let tret = fresh_temp ctx in
+      pop ctx fences tret;
+      emit ctx (Op.Goto_ptr tret);
+      true
+  | X86.Insn.Push r ->
+      push ctx fences (greg r);
+      false
+  | X86.Insn.Pop r ->
+      pop ctx fences (greg r);
+      false
+  | X86.Insn.Lock_cmpxchg (m, r) ->
+      let base, off = ea ctx m in
+      let taddr =
+        if Int64.equal off 0L then base
+        else begin
+          let ta = fresh_temp ctx in
+          emit ctx (Op.Binopi (Op.Add, ta, base, off));
+          ta
+        end
+      in
+      let told = fresh_temp ctx in
+      (match t.config.Config.rmw with
+      | Config.Native_casal | Config.Native_rmw2 ->
+          emit ctx (Op.Cas { old = told; addr = taddr; expect = rax; desired = greg r })
+      | Config.Helper _ ->
+          emit ctx
+            (Op.Call (helper_name t.config "helper_cmpxchg", [ taddr; rax; greg r ], Some told)));
+      cmpxchg_flags ctx told;
+      false
+  | X86.Insn.Lock_xadd (m, r) ->
+      let base, off = ea ctx m in
+      let taddr =
+        if Int64.equal off 0L then base
+        else begin
+          let ta = fresh_temp ctx in
+          emit ctx (Op.Binopi (Op.Add, ta, base, off));
+          ta
+        end
+      in
+      let told = fresh_temp ctx in
+      (match t.config.Config.rmw with
+      | Config.Native_casal | Config.Native_rmw2 ->
+          emit ctx (Op.Atomic { op = `Xadd; old = told; addr = taddr; src = greg r })
+      | Config.Helper _ ->
+          emit ctx
+            (Op.Call (helper_name t.config "helper_xadd", [ taddr; greg r ], Some told)));
+      emit ctx (Op.Mov (greg r, told));
+      false
+  | X86.Insn.Xchg (m, r) ->
+      let base, off = ea ctx m in
+      let taddr =
+        if Int64.equal off 0L then base
+        else begin
+          let ta = fresh_temp ctx in
+          emit ctx (Op.Binopi (Op.Add, ta, base, off));
+          ta
+        end
+      in
+      let told = fresh_temp ctx in
+      (match t.config.Config.rmw with
+      | Config.Native_casal | Config.Native_rmw2 ->
+          emit ctx (Op.Atomic { op = `Xchg; old = told; addr = taddr; src = greg r })
+      | Config.Helper _ ->
+          emit ctx
+            (Op.Call (helper_name t.config "helper_xchg", [ taddr; greg r ], Some told)));
+      emit ctx (Op.Mov (greg r, told));
+      false
+  | X86.Insn.Mfence ->
+      (match fences with
+      | Config.No_fences -> ()
+      | Config.Qemu_fences | Config.Risotto_fences -> emit ctx (Op.Mb E.F_sc));
+      false
+  | X86.Insn.Nop -> false
+  | X86.Insn.Syscall ->
+      emit ctx
+        (Op.Call
+           ( "helper_syscall",
+             [ rax; greg X86.Reg.RDI; greg X86.Reg.RSI; greg X86.Reg.RDX ],
+             Some rax ));
+      emit ctx (Op.Goto_tb next_pc);
+      true
+  | X86.Insn.Hlt ->
+      emit ctx Op.Exit_halt;
+      true
+
+(* Figure 11 steps 4–5: marshal guest argument registers to the host
+   call, invoke the native function, write the result back to RAX, and
+   return to the caller. *)
+let translate_plt_stub ctx (entry : Linker.Link.entry) =
+  let arg_regs = X86.Reg.[ RDI; RSI; RDX; RCX; R8; R9 ] in
+  let args =
+    List.mapi (fun i _ -> greg (List.nth arg_regs i)) entry.signature.Linker.Idl.args
+  in
+  let ret =
+    match entry.signature.Linker.Idl.ret with
+    | Linker.Idl.Void -> None
+    | Linker.Idl.I64 | Linker.Idl.F64 | Linker.Idl.Ptr -> Some rax
+  in
+  emit ctx (Op.Host_call { func = entry.name; args; ret });
+  (* Return to the guest caller: pop the return address pushed by the
+     guest CALL.  Host glue code: no guest memory-model fences. *)
+  let tret = fresh_temp ctx in
+  emit ctx (Op.Ld (tret, rsp, 0L));
+  emit ctx (Op.Binopi (Op.Add, rsp, rsp, 8L));
+  emit ctx (Op.Goto_ptr tret)
+
+let translate t pc =
+  let ctx = { ops = []; next_temp = Op.first_local; next_label = 0 } in
+  match
+    if t.config.Config.host_linker then Linker.Link.lookup t.links pc else None
+  with
+  | Some entry ->
+      translate_plt_stub ctx entry;
+      {
+        Tcg.Block.guest_pc = pc;
+        guest_len = 0;
+        guest_insns = 0;
+        ops = List.rev ctx.ops;
+      }
+  | None ->
+      let rec go pc count len =
+        let insn, ilen =
+          X86.Decode.decode t.image.Image.Gelf.text ~pc
+            ~base:t.image.Image.Gelf.text_base
+        in
+        let next_pc = Int64.add pc (Int64.of_int ilen) in
+        let ended = translate_insn t ctx pc next_pc insn in
+        let count = count + 1 and len = len + ilen in
+        if ended then (count, len)
+        else if count >= max_block_insns then begin
+          emit ctx (Op.Goto_tb next_pc);
+          (count, len)
+        end
+        else go next_pc count len
+      in
+      let insns, len = go pc 0 0 in
+      {
+        Tcg.Block.guest_pc = pc;
+        guest_len = len;
+        guest_insns = insns;
+        ops = List.rev ctx.ops;
+      }

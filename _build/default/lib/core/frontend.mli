@@ -1,0 +1,20 @@
+(** The DBT frontend: decodes guest x86 instructions at a pc and emits a
+    TCG translation block, applying the configured memory-model mapping
+    scheme (Figure 2 or Figure 7a) to every shared-memory access.
+
+    When the host linker is active and the pc is a resolved PLT entry,
+    the frontend instead emits the marshaled native call sequence of
+    Figure 11 (steps 4–5). *)
+
+type t = {
+  config : Config.t;
+  image : Image.Gelf.t;
+  links : Linker.Link.t;
+}
+
+val create : Config.t -> Image.Gelf.t -> Linker.Link.t -> t
+
+(** Maximum guest instructions per translation block. *)
+val max_block_insns : int
+
+val translate : t -> int64 -> Tcg.Block.t

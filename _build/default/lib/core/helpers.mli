@@ -1,0 +1,20 @@
+(** Qemu-style runtime helpers and host-library bindings, registered on
+    the Arm machine:
+
+    - [helper_syscall]: user-mode syscall passthrough (exit, write);
+    - [helper_cmpxchg_gcc9] / [helper_cmpxchg_gcc10]: the RMW helper
+      built on GCC atomics — an LDAXR/STLXR pair vs a CASAL (§3.1) —
+      with matching cycle costs;
+    - [helper_xadd_*] / [helper_xchg_*]: the other LOCK-prefixed RMWs;
+    - [sf_add] … [sf_sqrt]: softfloat emulation of SSE scalar doubles;
+    - every {!Linker.Hostlib} function, for translated [Host_call]s. *)
+
+(** Extra model cycles for one softfloat operation (on top of the
+    helper-call round trip). *)
+val softfloat_cycles : int
+
+(** [register_all ?on_clone shared] — [on_clone ~entry ~arg] implements
+    the clone syscall (56): spawn a guest thread at [entry] with
+    RDI=[arg], returning its tid. *)
+val register_all :
+  ?on_clone:(entry:int64 -> arg:int64 -> int64) -> Arm.Machine.shared -> unit

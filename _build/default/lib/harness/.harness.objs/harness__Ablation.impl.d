@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Arm Casbench Core Kernel List Parsec Tcg

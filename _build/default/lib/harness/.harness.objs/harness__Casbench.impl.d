@@ -1,0 +1,1 @@
+lib/harness/casbench.ml: Arm Array Core Image Int64 Libbench List Memsys X86

@@ -1,0 +1,1 @@
+lib/harness/casbench.mli: Arm

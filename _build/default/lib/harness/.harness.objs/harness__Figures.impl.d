@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Arm Casbench Core Fmt Kernel Libbench List Mapping Parsec

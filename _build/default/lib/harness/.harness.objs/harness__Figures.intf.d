@@ -1,0 +1,1 @@
+lib/harness/figures.mli: Casbench Format Libbench Parsec

@@ -1,0 +1,1 @@
+lib/harness/guest_libs.ml: Image Int64 List X86

@@ -1,0 +1,1 @@
+lib/harness/guest_libs.mli: Image

@@ -1,0 +1,1 @@
+lib/harness/kernel.ml: Arm Array Core Image Int64 List Memsys X86

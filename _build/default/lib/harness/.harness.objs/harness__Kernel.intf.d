@@ -1,0 +1,1 @@
+lib/harness/kernel.mli: Arm Core Memsys X86

@@ -1,0 +1,1 @@
+lib/harness/libbench.ml: Core Guest_libs Image Int64 Linker Memsys X86

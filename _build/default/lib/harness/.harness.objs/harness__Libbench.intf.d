@@ -1,0 +1,1 @@
+lib/harness/libbench.mli:

@@ -1,0 +1,39 @@
+let small spec = { spec with Kernel.iters = 400 }
+
+let fence_merge () =
+  let no_merge =
+    {
+      Core.Config.tcg_ver with
+      Core.Config.name = "tcg-ver-nomerge";
+      passes = Tcg.Pipeline.qemu_default;
+    }
+  in
+  List.map
+    (fun (b : Parsec.bench) ->
+      let cycles config =
+        let g, _ = Kernel.run_dbt config (small b.Parsec.spec) in
+        Core.Engine.cycles g
+      in
+      ( b.Parsec.spec.Kernel.name,
+        cycles Core.Config.tcg_ver,
+        cycles no_merge ))
+    Parsec.all
+
+let cas_transfer_sweep () =
+  List.map
+    (fun transfer ->
+      let cost = { Arm.Cost.default with Arm.Cost.line_transfer = transfer } in
+      let r = Casbench.run ~cost { Casbench.threads = 4; vars = 1 } in
+      (transfer, r.Casbench.qemu, r.Casbench.risotto))
+    [ 35; 70; 140; 280 ]
+
+let static_fences name =
+  let b = Parsec.find name in
+  List.map
+    (fun config ->
+      let _, eng = Kernel.run_dbt config (small b.Parsec.spec) in
+      let st = Core.Engine.stats eng in
+      ( config.Core.Config.name,
+        st.Core.Engine.fences_emitted,
+        st.Core.Engine.tcg_ops_after_opt ))
+    Core.Config.all

@@ -1,0 +1,17 @@
+(** Ablations for the design decisions called out in DESIGN.md. *)
+
+(** Fence merging on/off: per-benchmark cycles of the verified-mapping
+    configuration with and without the merging pass.  [(name, with_merge,
+    without_merge)]. *)
+val fence_merge : unit -> (string * int * int) list
+
+(** Cache-line transfer cost sweep at the contended 4-threads/1-variable
+    point: [(transfer_cost, qemu_ops_s, risotto_ops_s)].  Shows the
+    Qemu/Risotto convergence under contention is robust to the
+    contention constant. *)
+val cas_transfer_sweep : unit -> (int * float * float) list
+
+(** Per-configuration translated-code statistics on a reference
+    benchmark: [(config, dmb_count, tcg_ops_after_opt)] — the static
+    counterpart of Figure 12. *)
+val static_fences : string -> (string * int * int) list

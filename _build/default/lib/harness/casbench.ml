@@ -1,0 +1,111 @@
+module I = X86.Insn
+module R = X86.Reg
+module A = Arm.Insn
+
+type config = { threads : int; vars : int }
+
+let configs =
+  [
+    { threads = 1; vars = 1 };
+    { threads = 4; vars = 1 };
+    { threads = 4; vars = 2 };
+    { threads = 4; vars = 4 };
+    { threads = 8; vars = 1 };
+    { threads = 8; vars = 4 };
+    { threads = 8; vars = 8 };
+    { threads = 16; vars = 1 };
+    { threads = 16; vars = 8 };
+    { threads = 16; vars = 16 };
+  ]
+
+type result = { config : config; qemu : float; risotto : float; native : float }
+
+let iters_per_thread = 300
+let var_base = 0x40000L
+let var_addr i = Int64.add var_base (Int64.of_int (i * 64))
+
+let throughput ~total_ops ~max_cycles =
+  float_of_int total_ops /. (float_of_int max_cycles /. Libbench.clock_hz)
+
+(* Run under a DBT config: one engine per experiment; all threads share
+   memory and code cache and are scheduled round-robin per block. *)
+let run_dbt ?cost config cfg =
+  (* One shared image and code cache for all threads; each thread gets
+     its variable's address in R14 at spawn time. *)
+  let open X86.Asm in
+  let prog =
+    [
+      Label "main";
+      Ins (I.Mov_ri (R.R15, Int64.of_int iters_per_thread));
+      Label "loop";
+      Ins (I.Load (R.RAX, { base = Some R.R14; index = None; disp = 0L }));
+      Ins (I.Mov_rr (R.RCX, R.RAX));
+      Ins (I.Alu (I.Add, R.RCX, I.I 1L));
+      Ins (I.Lock_cmpxchg ({ base = Some R.R14; index = None; disp = 0L }, R.RCX));
+      Ins (I.Alu (I.Sub, R.R15, I.I 1L));
+      Ins (I.Cmp (R.R15, I.I 0L));
+      Jcc_lbl (I.Ne, "loop");
+      Ins I.Hlt;
+    ]
+  in
+  let image = Image.Gelf.build ~entry:"main" prog in
+  let eng = Core.Engine.create ?cost config image in
+  let threads =
+    List.init cfg.threads (fun tid ->
+        Core.Engine.spawn eng ~tid ~entry:image.Image.Gelf.entry
+          ~regs:[ (R.R14, var_addr (tid mod cfg.vars)) ]
+          ())
+  in
+  ignore (Core.Engine.run_concurrent eng threads);
+  let max_cycles =
+    List.fold_left (fun m g -> max m (Core.Engine.cycles g)) 0 threads
+  in
+  throughput ~total_ops:(cfg.threads * iters_per_thread) ~max_cycles
+
+(* Native: the same loop as one casal-based iteration per block, run
+   round-robin on the raw Arm machine so line ownership migrates. *)
+let native_block =
+  [|
+    (* x14 var addr, x15 counter; one iteration then exit to "pc 0" *)
+    A.Ldr (0, 14, 0L);
+    A.Alu (A.Add, 2, 0, A.I 1L);
+    A.Mov (9, 0);
+    A.Cas { acq = true; rel = true; cmp = 9; swap = 2; base = 14 };
+    A.Alu (A.Sub, 15, 15, A.I 1L);
+    A.Cbnz (15, 7);
+    A.Exit_halt;
+    A.Goto_tb 0L;
+  |]
+
+let run_native ?cost cfg =
+  let mem = Memsys.Mem.create () in
+  let shared = Arm.Machine.create_shared ?cost mem in
+  let threads =
+    List.init cfg.threads (fun tid ->
+        let t = Arm.Machine.create_thread tid in
+        t.Arm.Machine.regs.(14) <- var_addr (tid mod cfg.vars);
+        t.Arm.Machine.regs.(15) <- Int64.of_int iters_per_thread;
+        t)
+  in
+  let live = ref (List.map (fun t -> (t, ref false)) threads) in
+  while List.exists (fun (_, h) -> not !h) !live do
+    List.iter
+      (fun (t, halted) ->
+        if not !halted then
+          match Arm.Machine.exec_block shared t native_block with
+          | Arm.Machine.Halted -> halted := true
+          | Arm.Machine.Next_tb _ | Arm.Machine.Jump _ -> ())
+      !live
+  done;
+  let max_cycles =
+    List.fold_left (fun m t -> max m t.Arm.Machine.cycles) 0 threads
+  in
+  throughput ~total_ops:(cfg.threads * iters_per_thread) ~max_cycles
+
+let run ?cost cfg =
+  {
+    config = cfg;
+    qemu = run_dbt ?cost Core.Config.qemu cfg;
+    risotto = run_dbt ?cost Core.Config.risotto cfg;
+    native = run_native ?cost cfg;
+  }

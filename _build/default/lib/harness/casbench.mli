@@ -1,0 +1,25 @@
+(** Figure 15: CAS throughput under contention.
+
+    [threads] guest threads each run a CAS-increment loop on one of
+    [vars] cache-line-separated variables (thread [t] uses variable
+    [t mod vars]); contention is maximal when [vars = 1] and absent when
+    [vars = threads].  Throughput is total successful CAS operations
+    over the slowest thread's cycles. *)
+
+type config = { threads : int; vars : int }
+
+(** The paper's (threads, vars) configurations. *)
+val configs : config list
+
+type result = {
+  config : config;
+  qemu : float;  (** ops/s *)
+  risotto : float;
+  native : float;
+}
+
+val iters_per_thread : int
+
+(** [run ?cost cfg] — [cost] overrides the cycle model (used by the
+    contention-cost ablation). *)
+val run : ?cost:Arm.Cost.t -> config -> result

@@ -1,0 +1,131 @@
+type fig12_row = {
+  bench : Parsec.bench;
+  qemu : int;
+  no_fences : int;
+  tcg_ver : int;
+  risotto : int;
+  native : int;
+}
+
+let relative row cycles = float_of_int cycles /. float_of_int row.qemu
+
+let run_bench (b : Parsec.bench) =
+  let cycles config =
+    let g, _ = Kernel.run_dbt config b.Parsec.spec in
+    Core.Engine.cycles g
+  in
+  let native = (Kernel.run_native b.Parsec.spec).Arm.Machine.cycles in
+  {
+    bench = b;
+    qemu = cycles Core.Config.qemu;
+    no_fences = cycles Core.Config.no_fences;
+    tcg_ver = cycles Core.Config.tcg_ver;
+    risotto = cycles Core.Config.risotto;
+    native;
+  }
+
+let fig12 () = List.map run_bench Parsec.all
+
+type fig12_summary = {
+  avg_improvement : float;
+  max_improvement : float;
+  avg_fence_share : float;
+  max_fence_share : float;
+}
+
+let summarize_fig12 rows =
+  let improvements =
+    List.map (fun r -> 1.0 -. relative r r.tcg_ver) rows
+  in
+  let fence_shares = List.map (fun r -> 1.0 -. relative r r.no_fences) rows in
+  let avg l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let mx l = List.fold_left max neg_infinity l in
+  {
+    avg_improvement = avg improvements;
+    max_improvement = mx improvements;
+    avg_fence_share = avg fence_shares;
+    max_fence_share = mx fence_shares;
+  }
+
+let fig13 () = List.map Libbench.run Libbench.openssl
+let fig14 () = List.map Libbench.run Libbench.libm
+let fig15 () = List.map Casbench.run Casbench.configs
+
+let pp_fig12 ppf rows =
+  Fmt.pf ppf "Figure 12: run time relative to Qemu (lower is better)@.";
+  Fmt.pf ppf "%-18s %9s %10s %9s %9s %9s  %s@." "benchmark" "no-fences"
+    "tcg-ver" "risotto" "native" "qemu-cyc" "paper-qemu-s";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-18s %8.1f%% %9.1f%% %8.1f%% %8.1f%% %9d  %g@."
+        r.bench.Parsec.spec.Kernel.name
+        (100. *. relative r r.no_fences)
+        (100. *. relative r r.tcg_ver)
+        (100. *. relative r r.risotto)
+        (100. *. relative r r.native)
+        r.qemu r.bench.Parsec.paper_qemu_seconds)
+    rows;
+  let s = summarize_fig12 rows in
+  Fmt.pf ppf
+    "summary: tcg-ver improves on qemu by %.1f%% avg / %.1f%% max; fences \
+     account for %.1f%% avg / %.1f%% max of qemu run time@."
+    (100. *. s.avg_improvement) (100. *. s.max_improvement)
+    (100. *. s.avg_fence_share) (100. *. s.max_fence_share)
+
+let pp_libbench ~title ~unit_ops ppf results =
+  Fmt.pf ppf "%s@." title;
+  Fmt.pf ppf "%-16s %9s %9s %12s %6s@." "benchmark" "risotto" "native"
+    unit_ops "agree";
+  List.iter
+    (fun (r : Libbench.result) ->
+      Fmt.pf ppf "%-16s %8.1fx %8.1fx %12.3g %6s@." r.bench.Libbench.label
+        (Libbench.speedup_risotto r)
+        (Libbench.speedup_native r)
+        (Libbench.ops_per_sec ~calls:r.bench.Libbench.calls
+           ~cycles:r.qemu_cycles)
+        (if r.values_agree then "yes" else "-"))
+    results
+
+let pp_fig13 =
+  pp_libbench ~title:"Figure 13: OpenSSL / sqlite speed-up vs Qemu"
+    ~unit_ops:"qemu-ops/s"
+
+let pp_fig14 =
+  pp_libbench ~title:"Figure 14: libm speed-up vs Qemu" ~unit_ops:"qemu-ops/s"
+
+let pp_fig15 ppf results =
+  Fmt.pf ppf "Figure 15: CAS throughput (ops/s, higher is better)@.";
+  Fmt.pf ppf "%-8s %12s %12s %12s@." "t-v" "qemu" "risotto" "native";
+  List.iter
+    (fun (r : Casbench.result) ->
+      Fmt.pf ppf "%d-%d     %12.3e %12.3e %12.3e@."
+        r.config.Casbench.threads r.config.Casbench.vars r.qemu r.risotto
+        r.native)
+    results
+
+let pp_mapping_tables ppf () =
+  Fmt.pf ppf "Figure 1: concurrency primitives (x86 / TCG IR / Arm)@.";
+  Fmt.pf ppf "  %-24s %-8s %-6s %s@." "access type" "x86" "TCG" "Arm";
+  List.iter
+    (fun (a, b, c, d) -> Fmt.pf ppf "  %-24s %-8s %-6s %s@." a b c d)
+    Mapping.Schemes.figure1_rows;
+  Fmt.pf ppf "Figure 2: Qemu mappings (x86 -> TCG IR -> Arm)@.";
+  List.iter
+    (fun (a, b, c) -> Fmt.pf ppf "  %-8s -> %-10s -> %s@." a b c)
+    Mapping.Schemes.figure2_rows;
+  Fmt.pf ppf "Figure 3: intended Arm-Cats direct mapping@.";
+  List.iter
+    (fun (a, b) -> Fmt.pf ppf "  %-8s -> %s@." a b)
+    Mapping.Schemes.figure3_rows;
+  Fmt.pf ppf "Figure 7a: verified x86 -> TCG IR@.";
+  List.iter
+    (fun (a, b) -> Fmt.pf ppf "  %-8s -> %s@." a b)
+    Mapping.Schemes.figure7a_rows;
+  Fmt.pf ppf "Figure 7b: verified TCG IR -> Arm@.";
+  List.iter
+    (fun (a, b) -> Fmt.pf ppf "  %-12s -> %s@." a b)
+    Mapping.Schemes.figure7b_rows;
+  Fmt.pf ppf "Figure 7c: composed x86 -> Arm@.";
+  List.iter
+    (fun (a, b, c) -> Fmt.pf ppf "  %-8s -> %-10s -> %s@." a b c)
+    Mapping.Schemes.figure7c_rows

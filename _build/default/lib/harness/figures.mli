@@ -1,0 +1,38 @@
+(** Regeneration of the paper's evaluation figures (§7) and mapping
+    tables (Figures 2, 3, 7).  Each generator returns structured results
+    (asserted by the test suite) and has a printer producing the
+    rows/series the paper reports. *)
+
+type fig12_row = {
+  bench : Parsec.bench;
+  qemu : int;  (** model cycles *)
+  no_fences : int;
+  tcg_ver : int;
+  risotto : int;
+  native : int;
+}
+
+(** Relative run time vs Qemu (1.0 = Qemu), the y-axis of Figure 12. *)
+val relative : fig12_row -> int -> float
+
+val fig12 : unit -> fig12_row list
+
+type fig12_summary = {
+  avg_improvement : float;  (** tcg-ver vs qemu, fraction *)
+  max_improvement : float;
+  avg_fence_share : float;  (** 1 - no_fences/qemu *)
+  max_fence_share : float;
+}
+
+val summarize_fig12 : fig12_row list -> fig12_summary
+val fig13 : unit -> Libbench.result list
+val fig14 : unit -> Libbench.result list
+val fig15 : unit -> Casbench.result list
+
+val pp_fig12 : Format.formatter -> fig12_row list -> unit
+val pp_fig13 : Format.formatter -> Libbench.result list -> unit
+val pp_fig14 : Format.formatter -> Libbench.result list -> unit
+val pp_fig15 : Format.formatter -> Casbench.result list -> unit
+
+(** Mapping tables. *)
+val pp_mapping_tables : Format.formatter -> unit -> unit

@@ -1,0 +1,188 @@
+module I = X86.Insn
+module R = X86.Reg
+open X86.Asm
+
+let impl_label name = name ^ "@impl"
+let fnv_prime = 0x100000001b3L
+
+(* Word-at-a-time FNV digest, byte-exact with Hostlib's digest, plus
+   [extra] dummy mixing ops per byte to model heavier hash rounds.
+   Args: RDI = buffer, RSI = length in bytes (multiple of 8). *)
+let digest_impl name ~seed ~extra =
+  let per_byte =
+    List.concat
+      (List.init 8 (fun _ ->
+           [
+             Ins (I.Mov_rr (R.RDX, R.RCX));
+             Ins (I.Alu (I.And, R.RDX, I.I 0xFFL));
+             Ins (I.Alu (I.Imul, R.RAX, I.R R.R11));
+             Ins (I.Alu (I.Add, R.RDX, I.I 1L));
+             Ins (I.Alu (I.Add, R.RAX, I.R R.RDX));
+             Ins (I.Alu (I.Shr, R.RCX, I.I 8L));
+           ]
+           @ List.init extra (fun k ->
+                 Ins
+                   (match k mod 3 with
+                   | 0 -> I.Alu (I.Xor, R.R12, I.R R.RDX)
+                   | 1 -> I.Alu (I.Shl, R.R12, I.I 1L)
+                   | _ -> I.Alu (I.Add, R.R12, I.I 5L)))))
+  in
+  [
+    Label (impl_label name);
+    Ins (I.Mov_rr (R.R9, R.RDI));
+    Ins (I.Mov_rr (R.R10, R.RDI));
+    Ins (I.Alu (I.Add, R.R10, I.R R.RSI));
+    Ins (I.Mov_ri (R.RAX, seed));
+    Ins (I.Mov_ri (R.R11, fnv_prime));
+    Label (name ^ "@wloop");
+    Ins (I.Cmp (R.R9, I.R R.R10));
+    Jcc_lbl (I.Ae, name ^ "@wend");
+    Ins (I.Load (R.RCX, { base = Some R.R9; index = None; disp = 0L }));
+  ]
+  @ per_byte
+  @ [
+      Ins (I.Alu (I.Add, R.R9, I.I 8L));
+      Jmp_lbl (name ^ "@wloop");
+      Label (name ^ "@wend");
+      Ins I.Ret;
+    ]
+
+(* Square-and-add chain, value-exact with Hostlib's rsa stand-in, with a
+   dummy inner loop supplying the cost of multi-precision arithmetic.
+   Arg: RDI → RAX. *)
+let rsa_impl name ~inner =
+  [
+    Label (impl_label name);
+    Ins (I.Mov_rr (R.RAX, R.RDI));
+    Ins (I.Alu (I.Or, R.RAX, I.I 1L));
+    Ins (I.Mov_ri (R.R11, 0x9e3779b97f4a7c15L));
+    Ins (I.Mov_ri (R.R9, 16L));
+    Label (name ^ "@outer");
+    Ins (I.Mov_rr (R.RDX, R.RAX));
+    Ins (I.Alu (I.Imul, R.RAX, I.R R.RDX));
+    Ins (I.Alu (I.Add, R.RAX, I.R R.R11));
+    Ins (I.Mov_ri (R.R10, Int64.of_int inner));
+    Label (name ^ "@inner");
+    Ins (I.Alu (I.Add, R.R12, I.I 1L));
+    Ins (I.Alu (I.Sub, R.R10, I.I 1L));
+    Ins (I.Cmp (R.R10, I.I 0L));
+    Jcc_lbl (I.Ne, name ^ "@inner");
+    Ins (I.Alu (I.Sub, R.R9, I.I 1L));
+    Ins (I.Cmp (R.R9, I.I 0L));
+    Jcc_lbl (I.Ne, name ^ "@outer");
+    Ins I.Ret;
+  ]
+
+(* sqlite speedtest work unit: returns n+1 (host-exact) after the cost
+   of parsing + B-tree work. *)
+let sqlite_impl name ~inner =
+  [
+    Label (impl_label name);
+    Ins (I.Mov_rr (R.RAX, R.RDI));
+    Ins (I.Alu (I.Add, R.RAX, I.I 1L));
+    Ins (I.Mov_ri (R.R10, Int64.of_int inner));
+    Label (name ^ "@inner");
+    Ins (I.Alu (I.Add, R.R12, I.I 3L));
+    Ins (I.Alu (I.Xor, R.R12, I.R R.R10));
+    Ins (I.Alu (I.Sub, R.R10, I.I 1L));
+    Ins (I.Cmp (R.R10, I.I 0L));
+    Jcc_lbl (I.Ne, name ^ "@inner");
+    Ins I.Ret;
+  ]
+
+(* Softfloat polynomial evaluation: [n_fp] scalar-double ops, each of
+   which Qemu emulates through a helper call.  Arg: RDI → RAX. *)
+let poly_impl name ~n_fp =
+  [ Label (impl_label name); Ins (I.Mov_rr (R.RAX, R.RDI)) ]
+  @ List.init n_fp (fun k ->
+        Ins (I.Fp ((if k mod 2 = 0 then I.Fmul else I.Fadd), R.RAX, R.RAX)))
+  @ [ Ins I.Ret ]
+
+let sqrt_impl name =
+  [
+    Label (impl_label name);
+    Ins (I.Mov_rr (R.RAX, R.RDI));
+    Ins (I.Fp (I.Fsqrt, R.RAX, R.RDI));
+    Ins I.Ret;
+  ]
+
+(* strlen: word loads, unrolled byte scan within each word.
+   Arg: RDI → RAX. *)
+let strlen_impl name =
+  let byte_checks =
+    List.concat
+      (List.init 8 (fun k ->
+           [
+             Ins (I.Mov_rr (R.RDX, R.RCX));
+             Ins (I.Alu (I.And, R.RDX, I.I 0xFFL));
+             Ins (I.Cmp (R.RDX, I.I 0L));
+             Jcc_lbl (I.E, name ^ "@done");
+             Ins (I.Alu (I.Add, R.RAX, I.I 1L));
+           ]
+           @ if k < 7 then [ Ins (I.Alu (I.Shr, R.RCX, I.I 8L)) ] else []))
+  in
+  [
+    Label (impl_label name);
+    Ins (I.Mov_ri (R.RAX, 0L));
+    Ins (I.Mov_rr (R.R9, R.RDI));
+    Label (name ^ "@wloop");
+    Ins (I.Load (R.RCX, { base = Some R.R9; index = None; disp = 0L }));
+  ]
+  @ byte_checks
+  @ [
+      Ins (I.Alu (I.Add, R.R9, I.I 8L));
+      Jmp_lbl (name ^ "@wloop");
+      Label (name ^ "@done");
+      Ins I.Ret;
+    ]
+
+(* memcpy(dst, src, len): word copy.  Args RDI, RSI, RDX → RAX=dst. *)
+let memcpy_impl name =
+  [
+    Label (impl_label name);
+    Ins (I.Mov_ri (R.R9, 0L));
+    Label (name ^ "@loop");
+    Ins (I.Cmp (R.R9, I.R R.RDX));
+    Jcc_lbl (I.Ae, name ^ "@done");
+    Ins (I.Mov_rr (R.R10, R.RSI));
+    Ins (I.Alu (I.Add, R.R10, I.R R.R9));
+    Ins (I.Load (R.RCX, { base = Some R.R10; index = None; disp = 0L }));
+    Ins (I.Mov_rr (R.R10, R.RDI));
+    Ins (I.Alu (I.Add, R.R10, I.R R.R9));
+    Ins (I.Store ({ base = Some R.R10; index = None; disp = 0L }, I.R R.RCX));
+    Ins (I.Alu (I.Add, R.R9, I.I 8L));
+    Jmp_lbl (name ^ "@loop");
+    Label (name ^ "@done");
+    Ins (I.Mov_rr (R.RAX, R.RDI));
+    Ins I.Ret;
+  ]
+
+let impls =
+  [
+    ("md5", digest_impl "md5" ~seed:0x6d643500L ~extra:0);
+    ("sha1", digest_impl "sha1" ~seed:0x73686131L ~extra:3);
+    ("sha256", digest_impl "sha256" ~seed:0x73323536L ~extra:12);
+    ("rsa1024_sign", rsa_impl "rsa1024_sign" ~inner:1600);
+    ("rsa1024_verify", rsa_impl "rsa1024_verify" ~inner:55);
+    ("rsa2048_sign", rsa_impl "rsa2048_sign" ~inner:9800);
+    ("rsa2048_verify", rsa_impl "rsa2048_verify" ~inner:170);
+    ("sqlite_step", sqlite_impl "sqlite_step" ~inner:7000);
+    ("sin", poly_impl "sin" ~n_fp:41);
+    ("cos", poly_impl "cos" ~n_fp:41);
+    ("tan", poly_impl "tan" ~n_fp:48);
+    ("asin", poly_impl "asin" ~n_fp:52);
+    ("acos", poly_impl "acos" ~n_fp:52);
+    ("atan", poly_impl "atan" ~n_fp:48);
+    ("exp", poly_impl "exp" ~n_fp:30);
+    ("log", poly_impl "log" ~n_fp:30);
+    ("sqrt", sqrt_impl "sqrt");
+    ("strlen", strlen_impl "strlen");
+    ("memcpy", memcpy_impl "memcpy");
+  ]
+
+let import name =
+  match List.assoc_opt name impls with
+  | Some guest_impl -> { Image.Gelf.name; guest_impl }
+  | None -> invalid_arg ("Guest_libs.import: " ^ name)
+
+let names = List.map fst impls

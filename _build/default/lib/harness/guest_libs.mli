@@ -1,0 +1,16 @@
+(** Guest-side shared library implementations (x86): what Qemu
+    translates when the host linker is not used.
+
+    The digest, RSA and sqlite stand-ins compute {e exactly} the same
+    values as their {!Linker.Hostlib} counterparts (so host-linking is
+    observably transparent, which the tests check), while costing what
+    translated software implementations cost.  The math functions are
+    softfloat polynomial loops; [sqrt] is a single [sqrtsd], which Qemu
+    emulates through its softfloat helper. *)
+
+(** [import name] returns the image import (PLT + guest implementation)
+    for a host-library function name. *)
+val import : string -> Image.Gelf.import
+
+(** All library functions with guest implementations. *)
+val names : string list

@@ -1,0 +1,134 @@
+module XI = X86.Insn
+module XR = X86.Reg
+module A = Arm.Insn
+
+type mix = { loads : int; stores : int; arith : int; fp : int; locks : int }
+type spec = { name : string; mix : mix; iters : int }
+
+let data_base tid = Int64.add 0x20000L (Int64.of_int (tid * 4096))
+
+(* Registers: RBX data base, R15 loop counter, RAX/RCX/RDX/RSI work,
+   R8 atomic increment, R14 lock word address base. *)
+let to_x86 ?(tid = 0) spec =
+  let open X86.Asm in
+  let m = spec.mix in
+  let body = ref [] in
+  let emit i = body := Ins i :: !body in
+  (* interleave loads/stores/arith round-robin for a realistic mix *)
+  for k = 0 to m.loads - 1 do
+    emit (XI.Load (XR.RAX, { base = Some XR.RBX; index = None; disp = Int64.of_int (8 * (k mod 16)) }))
+  done;
+  for k = 0 to m.stores - 1 do
+    emit (XI.Store ({ base = Some XR.RBX; index = None; disp = Int64.of_int (8 * (16 + (k mod 16))) }, XI.R XR.RAX))
+  done;
+  for k = 0 to m.arith - 1 do
+    emit
+      (match k mod 4 with
+      | 0 -> XI.Alu (XI.Add, XR.RCX, XI.I 3L)
+      | 1 -> XI.Alu (XI.Xor, XR.RDX, XI.R XR.RCX)
+      | 2 -> XI.Alu (XI.Shl, XR.RCX, XI.I 1L)
+      | _ -> XI.Alu (XI.Sub, XR.RDX, XI.I 1L))
+  done;
+  for k = 0 to m.fp - 1 do
+    emit (XI.Fp ((if k mod 2 = 0 then XI.Fmul else XI.Fadd), XR.RSI, XR.RSI))
+  done;
+  for _ = 0 to m.locks - 1 do
+    (* xadd writes the old value back into R8: re-arm the increment. *)
+    emit (XI.Mov_ri (XR.R8, 1L));
+    emit (XI.Lock_xadd ({ base = Some XR.R14; index = None; disp = 0L }, XR.R8))
+  done;
+  [
+    Label "main";
+    Ins (XI.Mov_ri (XR.RBX, data_base tid));
+    Ins (XI.Mov_ri (XR.R14, Int64.add (data_base tid) 1024L));
+    Ins (XI.Mov_ri (XR.R15, Int64.of_int spec.iters));
+    Ins (XI.Mov_ri (XR.RCX, 1L));
+    Ins (XI.Mov_ri (XR.RDX, 2L));
+    Ins (XI.Mov_ri (XR.R8, 1L));
+    Ins (XI.Mov_ri (XR.RSI, Int64.bits_of_float 1.000001));
+    Label "loop";
+  ]
+  @ List.rev !body
+  @ [
+      Ins (XI.Alu (XI.Sub, XR.R15, XI.I 1L));
+      Ins (XI.Cmp (XR.R15, XI.I 0L));
+      Jcc_lbl (XI.Ne, "loop");
+      Ins XI.Hlt;
+    ]
+
+(* Native Arm codegen for the same kernel: registers X0 data base,
+   X1 counter, X2-X5 work, X6 atomic increment, X7 lock base,
+   X9/X10 scratch. *)
+let to_arm ?(tid = 0) spec =
+  let m = spec.mix in
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  emit (A.Movz (0, data_base tid));
+  emit (A.Movz (7, Int64.add (data_base tid) 1024L));
+  emit (A.Movz (1, Int64.of_int spec.iters));
+  emit (A.Movz (2, 1L));
+  emit (A.Movz (3, 2L));
+  emit (A.Movz (6, 1L));
+  emit (A.Movz (4, Int64.bits_of_float 1.000001));
+  let loop_start = List.length !code in
+  for k = 0 to m.loads - 1 do
+    emit (A.Ldr (2, 0, Int64.of_int (8 * (k mod 16))))
+  done;
+  for k = 0 to m.stores - 1 do
+    emit (A.Str (2, 0, Int64.of_int (8 * (16 + (k mod 16)))))
+  done;
+  for k = 0 to m.arith - 1 do
+    emit
+      (match k mod 4 with
+      | 0 -> A.Alu (A.Add, 2, 2, A.I 3L)
+      | 1 -> A.Alu (A.Eor, 3, 3, A.R 2)
+      | 2 -> A.Alu (A.Lsl, 2, 2, A.I 1L)
+      | _ -> A.Alu (A.Sub, 3, 3, A.I 1L))
+  done;
+  for k = 0 to m.fp - 1 do
+    emit (A.Fp ((if k mod 2 = 0 then A.Fmul else A.Fadd), 4, 4, 4))
+  done;
+  for _ = 0 to m.locks - 1 do
+    (* ldxr/stxr increment loop (what a native compiler emits for a
+       relaxed fetch-add; no guest-model fences needed natively) *)
+    let retry = List.length !code in
+    emit (A.Ldxr (9, 7));
+    emit (A.Alu (A.Add, 9, 9, A.R 6));
+    emit (A.Stxr (10, 9, 7));
+    emit (A.Cbnz (10, retry))
+  done;
+  emit (A.Alu (A.Sub, 1, 1, A.I 1L));
+  emit (A.Cbnz (1, loop_start));
+  emit A.Exit_halt;
+  Array.of_list (List.rev !code)
+
+let run_native ?cost ?(tid = 0) ?mem spec =
+  let mem = match mem with Some m -> m | None -> Memsys.Mem.create () in
+  let shared = Arm.Machine.create_shared ?cost mem in
+  let t = Arm.Machine.create_thread tid in
+  (match Arm.Machine.exec_block shared t (to_arm ~tid spec) with
+  | Arm.Machine.Halted -> ()
+  | _ -> failwith "Kernel.run_native: unexpected exit");
+  t
+
+let run_dbt ?cost ?(threads = 1) config spec =
+  let image = Image.Gelf.build ~entry:"main" (to_x86 spec) in
+  let eng = Core.Engine.create ?cost config image in
+  if threads = 1 then
+    let g = Core.Engine.run eng in
+    (g, eng)
+  else begin
+    (* All threads execute the same kernel (PARSEC-style data-parallel
+       worker team); the reported thread is the slowest one. *)
+    let ts =
+      List.init threads (fun tid ->
+          Core.Engine.spawn eng ~tid ~entry:image.Image.Gelf.entry ())
+    in
+    ignore (Core.Engine.run_concurrent eng ts);
+    let slowest =
+      List.fold_left
+        (fun a g -> if Core.Engine.cycles g > Core.Engine.cycles a then g else a)
+        (List.hd ts) ts
+    in
+    (slowest, eng)
+  end

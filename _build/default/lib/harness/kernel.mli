@@ -1,0 +1,40 @@
+(** Workload kernels: parameterised instruction mixes compiled both to
+    guest x86 (run through the DBT) and to native Arm (the paper's
+    [native] baseline).
+
+    Figure 12's relative run times are driven by the density of loads,
+    stores, FP and atomic operations — the points where the mapping
+    schemes insert fences or helper calls — so each PARSEC/Phoenix
+    benchmark is represented by its op mix. *)
+
+type mix = {
+  loads : int;  (** loads per iteration *)
+  stores : int;
+  arith : int;  (** integer ALU ops per iteration *)
+  fp : int;  (** scalar double ops per iteration *)
+  locks : int;  (** atomic RMWs per iteration *)
+}
+
+type spec = { name : string; mix : mix; iters : int }
+
+(** Guest program: a loop over the mix body; halts when done.
+    Data lives at [0x20000 + 4KiB·tid]. *)
+val to_x86 : ?tid:int -> spec -> X86.Asm.item list
+
+(** The same kernel compiled directly to Arm host code, without guest
+    fences and with native FP — what a native compiler would emit. *)
+val to_arm : ?tid:int -> spec -> Arm.Insn.t array
+
+(** Run the native Arm version and return the thread (for cycles). *)
+val run_native :
+  ?cost:Arm.Cost.t -> ?tid:int -> ?mem:Memsys.Mem.t -> spec ->
+  Arm.Machine.thread
+
+(** Run the guest version under a DBT config; returns the finished
+    (slowest, when [threads > 1]) thread and the engine.  With several
+    threads, a PARSEC-style worker team runs the same kernel
+    concurrently, sharing the code cache and contending on the kernel's
+    lock word. *)
+val run_dbt :
+  ?cost:Arm.Cost.t -> ?threads:int -> Core.Config.t -> spec ->
+  Core.Engine.guest_thread * Core.Engine.t

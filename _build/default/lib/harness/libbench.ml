@@ -1,0 +1,115 @@
+module I = X86.Insn
+module R = X86.Reg
+
+type kind = Digest of int | Scalar of int64
+type bench = { label : string; func : string; kind : kind; calls : int }
+
+type result = {
+  bench : bench;
+  qemu_cycles : int;
+  risotto_cycles : int;
+  native_cycles : int;
+  values_agree : bool;
+}
+
+let speedup_risotto r = float_of_int r.qemu_cycles /. float_of_int r.risotto_cycles
+let speedup_native r = float_of_int r.qemu_cycles /. float_of_int r.native_cycles
+let clock_hz = 2.0e9
+
+let ops_per_sec ~calls ~cycles =
+  float_of_int calls /. (float_of_int cycles /. clock_hz)
+
+let buffer_base = 0x30000L
+
+(* Driver: call func@plt [calls] times with the benchmark's arguments,
+   xor-accumulating results into R13 so values can be compared across
+   configurations. *)
+let driver b =
+  let open X86.Asm in
+  let set_args =
+    match b.kind with
+    | Digest len ->
+        [
+          Ins (I.Mov_ri (R.RDI, buffer_base));
+          Ins (I.Mov_ri (R.RSI, Int64.of_int len));
+        ]
+    | Scalar v -> [ Ins (I.Mov_ri (R.RDI, v)) ]
+  in
+  [ Label "main"; Ins (I.Mov_ri (R.R13, 0L)); Ins (I.Mov_ri (R.RBP, Int64.of_int b.calls)); Label "bloop" ]
+  @ set_args
+  @ [
+      Call_lbl (b.func ^ "@plt");
+      Ins (I.Alu (I.Xor, R.R13, I.R R.RAX));
+      Ins (I.Alu (I.Sub, R.RBP, I.I 1L));
+      Ins (I.Cmp (R.RBP, I.I 0L));
+      Jcc_lbl (I.Ne, "bloop");
+      Ins I.Hlt;
+    ]
+
+let fill_buffer mem len =
+  (* Deterministic non-zero contents so digests exercise real data. *)
+  for i = 0 to (len / 8) - 1 do
+    Memsys.Mem.store mem
+      (Int64.add buffer_base (Int64.of_int (8 * i)))
+      (Int64.of_int ((i * 2654435761) land 0xFFFFFF))
+  done
+
+let image b =
+  Image.Gelf.build ~entry:"main"
+    ~imports:[ Guest_libs.import b.func ]
+    (driver b)
+
+let run_config config b =
+  let img = image b in
+  let eng = Core.Engine.create config img in
+  (match b.kind with
+  | Digest len -> fill_buffer (Core.Engine.memory eng) len
+  | Scalar _ -> ());
+  let g = Core.Engine.run eng in
+  (Core.Engine.cycles g, Core.Engine.reg g R.R13)
+
+(* Analytic native baseline: the same loop compiled natively — loop
+   overhead, a BL, and the native function body. *)
+let native_cycles b =
+  let fn =
+    match Linker.Hostlib.find b.func with
+    | Some fn -> fn
+    | None -> invalid_arg ("Libbench: no host function " ^ b.func)
+  in
+  let args =
+    match b.kind with
+    | Digest len -> [ buffer_base; Int64.of_int len ]
+    | Scalar v -> [ v ]
+  in
+  let per_call = 10 + fn.Linker.Hostlib.cycles args in
+  b.calls * per_call
+
+let run b =
+  let qemu_cycles, qv = run_config Core.Config.qemu b in
+  let risotto_cycles, rv = run_config Core.Config.risotto b in
+  {
+    bench = b;
+    qemu_cycles;
+    risotto_cycles;
+    native_cycles = native_cycles b;
+    values_agree = Int64.equal qv rv;
+  }
+
+let openssl =
+  [
+    { label = "md5-1024"; func = "md5"; kind = Digest 1024; calls = 8 };
+    { label = "md5-8192"; func = "md5"; kind = Digest 8192; calls = 3 };
+    { label = "rsa1024-sign"; func = "rsa1024_sign"; kind = Scalar 42L; calls = 3 };
+    { label = "rsa1024-verify"; func = "rsa1024_verify"; kind = Scalar 42L; calls = 8 };
+    { label = "rsa2048-sign"; func = "rsa2048_sign"; kind = Scalar 42L; calls = 2 };
+    { label = "rsa2048-verify"; func = "rsa2048_verify"; kind = Scalar 42L; calls = 6 };
+    { label = "sha1-1024"; func = "sha1"; kind = Digest 1024; calls = 8 };
+    { label = "sha1-8192"; func = "sha1"; kind = Digest 8192; calls = 3 };
+    { label = "sha256-1024"; func = "sha256"; kind = Digest 1024; calls = 8 };
+    { label = "sha256-8192"; func = "sha256"; kind = Digest 8192; calls = 3 };
+    { label = "sqlite"; func = "sqlite_step"; kind = Scalar 7L; calls = 6 };
+  ]
+
+let libm =
+  let f name = { label = name; func = name; kind = Scalar (Int64.bits_of_float 0.5); calls = 50 } in
+  [ f "sqrt"; f "exp"; f "log"; f "cos"; f "sin"; f "tan"; f "acos"; f "asin"; f "atan" ]

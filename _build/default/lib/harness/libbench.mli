@@ -1,0 +1,37 @@
+(** Figures 13 and 14: shared-library benchmarks through the dynamic
+    host linker.
+
+    Each benchmark is a guest program calling one library function in a
+    loop through its PLT entry.  Under [qemu] the guest implementation
+    is translated; under [risotto] the PLT entry is intercepted and the
+    native host function is invoked with argument marshaling; [native]
+    is the analytic cost of the same loop compiled natively. *)
+
+type kind = Digest of int  (** buffer length *) | Scalar of int64  (** argument *)
+
+type bench = { label : string; func : string; kind : kind; calls : int }
+
+type result = {
+  bench : bench;
+  qemu_cycles : int;
+  risotto_cycles : int;
+  native_cycles : int;
+  values_agree : bool;
+      (** guest and host implementations returned the same value *)
+}
+
+val speedup_risotto : result -> float
+val speedup_native : result -> float
+
+(** Model clock used to convert cycles to ops/s. *)
+val clock_hz : float
+
+val ops_per_sec : calls:int -> cycles:int -> float
+
+(** Figure 13 benchmarks (OpenSSL digests and RSA, sqlite). *)
+val openssl : bench list
+
+(** Figure 14 benchmarks (libm). *)
+val libm : bench list
+
+val run : bench -> result

@@ -1,0 +1,40 @@
+type bench = {
+  spec : Kernel.spec;
+  suite : [ `Parsec | `Phoenix ];
+  paper_qemu_seconds : float;
+}
+
+let b name suite secs ?(iters = 1500) loads stores arith fp locks =
+  {
+    spec = { Kernel.name; iters; mix = { Kernel.loads; stores; arith; fp; locks } };
+    suite;
+    paper_qemu_seconds = secs;
+  }
+
+(* Mixes: memory-bound benchmarks (canneal, freqmine, streamcluster)
+   are load-heavy; numeric kernels (blackscholes, swaptions, facesim)
+   are FP-heavy; Phoenix map-reduce kernels are integer/load mixes. *)
+let all =
+  [
+    b "blackscholes" `Parsec 649. 4 1 6 10 0;
+    b "bodytrack" `Parsec 2129. 6 2 10 4 0;
+    b "canneal" `Parsec 570. 10 3 6 0 1;
+    b "facesim" `Parsec 6091. 6 3 8 8 0;
+    b "fluidanimate" `Parsec 1873. 8 4 10 6 1;
+    b "freqmine" `Parsec 931. 14 2 6 0 0;
+    b "streamcluster" `Parsec 1821. 10 2 8 6 0;
+    b "swaptions" `Parsec 673. 4 2 8 8 0;
+    b "vips" `Parsec 278. 6 4 12 2 0;
+    b "histogram" `Phoenix 2.8 8 2 6 0 0;
+    b "kmeans" `Phoenix 17. 8 2 10 4 0;
+    b "linearregression" `Phoenix 1.4 6 1 8 0 0;
+    b "matrixmultiply" `Phoenix 866. 8 1 6 6 0;
+    b "pca" `Phoenix 245. 8 2 8 6 0;
+    b "stringmatch" `Phoenix 6.2 10 1 10 0 0;
+    b "wordcount" `Phoenix 4.9 8 3 8 0 0;
+  ]
+
+let find name =
+  match List.find_opt (fun x -> x.spec.Kernel.name = name) all with
+  | Some x -> x
+  | None -> invalid_arg ("Parsec.find: " ^ name)

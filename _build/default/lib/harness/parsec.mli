@@ -1,0 +1,15 @@
+(** The PARSEC 3.0 and Phoenix benchmark stand-ins of Figure 12.
+
+    Each benchmark is represented by its instruction mix (loads, stores,
+    integer, FP and atomic densities per loop iteration), chosen from the
+    published characterisations of these suites; [paper_qemu_seconds] is
+    the raw Qemu run time the paper reports above each bar. *)
+
+type bench = {
+  spec : Kernel.spec;
+  suite : [ `Parsec | `Phoenix ];
+  paper_qemu_seconds : float;
+}
+
+val all : bench list
+val find : string -> bench

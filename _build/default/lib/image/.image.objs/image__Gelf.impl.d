@@ -1,0 +1,1 @@
+lib/image/gelf.ml: Buffer Char Int64 List String X86

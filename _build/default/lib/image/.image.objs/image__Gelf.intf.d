@@ -1,0 +1,1 @@
+lib/image/gelf.mli: X86

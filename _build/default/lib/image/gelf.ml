@@ -1,0 +1,129 @@
+type t = {
+  entry : int64;
+  text_base : int64;
+  text : string;
+  symbols : (string * int64) list;
+  imports : string list;
+  plt : (string * int64) list;
+}
+
+type import = { name : string; guest_impl : X86.Asm.item list }
+
+let plt_label name = name ^ "@plt"
+let impl_label name = name ^ "@impl"
+
+let build ?(org = 0x1000L) ~entry ?(imports = []) items =
+  let plt_stubs =
+    List.concat_map
+      (fun i -> [ X86.Asm.Label (plt_label i.name); X86.Asm.Jmp_lbl (impl_label i.name) ])
+      imports
+  in
+  let impls = List.concat_map (fun i -> i.guest_impl) imports in
+  let asm = X86.Asm.assemble ~org (items @ plt_stubs @ impls) in
+  {
+    entry = X86.Asm.symbol asm entry;
+    text_base = org;
+    text = asm.X86.Asm.code;
+    symbols = asm.X86.Asm.symbols;
+    imports = List.map (fun i -> i.name) imports;
+    plt = List.map (fun i -> (i.name, X86.Asm.symbol asm (plt_label i.name))) imports;
+  }
+
+let symbol t name =
+  match List.assoc_opt name t.symbols with
+  | Some a -> a
+  | None -> raise (X86.Asm.Undefined_label name)
+
+let plt_at t addr =
+  List.find_map (fun (n, a) -> if Int64.equal a addr then Some n else None) t.plt
+
+(* ------------------------------------------------------------------ *)
+(* Image files                                                         *)
+
+exception Bad_image of string
+
+let magic = "GELF1\n"
+
+let put_i64 b (v : int64) =
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done
+
+let put_str b s =
+  put_i64 b (Int64.of_int (String.length s));
+  Buffer.add_string b s
+
+let put_list b f l =
+  put_i64 b (Int64.of_int (List.length l));
+  List.iter (f b) l
+
+let save t path =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b magic;
+  put_i64 b t.entry;
+  put_i64 b t.text_base;
+  put_str b t.text;
+  put_list b
+    (fun b (name, addr) ->
+      put_str b name;
+      put_i64 b addr)
+    t.symbols;
+  put_list b (fun b name -> put_str b name) t.imports;
+  put_list b
+    (fun b (name, addr) ->
+      put_str b name;
+      put_i64 b addr)
+    t.plt;
+  let oc = open_out_bin path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let pos = ref 0 in
+  let take n =
+    if !pos + n > String.length s then raise (Bad_image "truncated");
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  let i64 () =
+    let r = ref 0L in
+    let chunk = take 8 in
+    for i = 0 to 7 do
+      r :=
+        Int64.logor !r
+          (Int64.shift_left (Int64.of_int (Char.code chunk.[i])) (8 * i))
+    done;
+    !r
+  in
+  let str () =
+    let n = Int64.to_int (i64 ()) in
+    if n < 0 || n > String.length s then raise (Bad_image "bad string length");
+    take n
+  in
+  let list f =
+    let n = Int64.to_int (i64 ()) in
+    if n < 0 then raise (Bad_image "bad list length");
+    let rec go i acc = if i = n then List.rev acc else go (i + 1) (f () :: acc) in
+    go 0 []
+  in
+  if take (String.length magic) <> magic then raise (Bad_image "bad magic");
+  let entry = i64 () in
+  let text_base = i64 () in
+  let text = str () in
+  let symbols =
+    list (fun () ->
+        let name = str () in
+        (name, i64 ()))
+  in
+  let imports = list str in
+  let plt =
+    list (fun () ->
+        let name = str () in
+        (name, i64 ()))
+  in
+  { entry; text_base; text; symbols; imports; plt }

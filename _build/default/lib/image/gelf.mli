@@ -1,0 +1,47 @@
+(** "GELF": the simplified guest ELF image the DBT loads.
+
+    Mirrors the parts of ELF the paper's dynamic linker uses (§6.2): a
+    text section of encoded guest instructions, a symbol table, the list
+    of imported shared-library functions (.dynsym), and one PLT entry
+    per import.  When an imported function is {e not} intercepted by the
+    host linker, its PLT entry transfers to the bundled guest
+    implementation — exactly Qemu's behaviour of translating the guest
+    shared library. *)
+
+type t = {
+  entry : int64;
+  text_base : int64;
+  text : string;
+  symbols : (string * int64) list;
+  imports : string list;
+  plt : (string * int64) list;  (** import name → PLT entry address *)
+}
+
+(** An imported function with its guest-side implementation (the "guest
+    shared library" code, entered through the PLT when the host linker
+    does not intercept).  The implementation must be labelled
+    [name ^ "@impl"] and end in [Ret]. *)
+type import = { name : string; guest_impl : X86.Asm.item list }
+
+(** [build ~entry ~imports items] assembles user code, PLT stubs and
+    guest library implementations into an image. *)
+val build :
+  ?org:int64 -> entry:string -> ?imports:import list -> X86.Asm.item list -> t
+
+(** Address of a symbol. *)
+val symbol : t -> string -> int64
+
+(** The import (if any) whose PLT entry is at [addr]. *)
+val plt_at : t -> int64 -> string option
+
+(** {1 Image files}
+
+    A versioned binary container, so guest programs can be built once
+    and shipped to the DBT as files. *)
+
+exception Bad_image of string
+
+val save : t -> string -> unit
+
+(** Raises {!Bad_image} on corrupt or incompatible files. *)
+val load : string -> t

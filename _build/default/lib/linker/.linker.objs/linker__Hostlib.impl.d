@@ -1,0 +1,1 @@
+lib/linker/hostlib.ml: Idl Int64 List Memsys Option

@@ -1,0 +1,1 @@
+lib/linker/hostlib.mli: Idl Memsys

@@ -1,0 +1,1 @@
+lib/linker/idl.ml: Fmt List Printf String

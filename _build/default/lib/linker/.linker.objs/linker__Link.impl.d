@@ -1,0 +1,1 @@
+lib/linker/link.ml: Either Hostlib Idl Image Int64 List

@@ -1,0 +1,1 @@
+lib/linker/link.mli: Idl Image

@@ -1,0 +1,122 @@
+type fn = {
+  signature : Idl.signature;
+  call : Memsys.Mem.t -> int64 list -> int64;
+  cycles : int64 list -> int;
+}
+
+let of_f = Int64.bits_of_float
+let to_f = Int64.float_of_bits
+
+let sig_ name ret args = { Idl.name; ret; args }
+
+let float_fn name ~cost f =
+  ( name,
+    {
+      signature = sig_ name Idl.F64 [ Idl.F64 ];
+      call = (fun _ args -> of_f (f (to_f (List.nth args 0))));
+      cycles = (fun _ -> cost);
+    } )
+
+(* FNV-style fold over a guest buffer: a deterministic digest stand-in
+   with the right data-dependence shape. *)
+let digest_bytes mem ptr len seed =
+  let h = ref seed in
+  for i = 0 to len - 1 do
+    let b = Memsys.Mem.load_byte mem (Int64.add ptr (Int64.of_int i)) in
+    h := Int64.add (Int64.mul !h 0x100000001b3L) (Int64.of_int (b + 1))
+  done;
+  !h
+
+let digest_fn name ~seed ~cycles_per_byte ~setup =
+  ( name,
+    {
+      signature = sig_ name Idl.I64 [ Idl.Ptr; Idl.I64 ];
+      call =
+        (fun mem args ->
+          digest_bytes mem (List.nth args 0) (Int64.to_int (List.nth args 1)) seed);
+      cycles =
+        (fun args ->
+          setup + int_of_float (cycles_per_byte *. Int64.to_float (List.nth args 1)));
+    } )
+
+(* RSA stand-in: a square-and-multiply flavoured mixing of the input,
+   with the real operations' cost structure (sign ≫ verify). *)
+let rsa_fn name ~cost =
+  ( name,
+    {
+      signature = sig_ name Idl.I64 [ Idl.I64 ];
+      call =
+        (fun _ args ->
+          let x = ref (Int64.logor (List.nth args 0) 1L) in
+          for _ = 1 to 16 do
+            x := Int64.add (Int64.mul !x !x) 0x9e3779b97f4a7c15L
+          done;
+          !x);
+      cycles = (fun _ -> cost);
+    } )
+
+let all =
+  [
+    (* libm: software polynomial routines except sqrt (hardware) *)
+    float_fn "sin" ~cost:150 sin;
+    float_fn "cos" ~cost:150 cos;
+    float_fn "tan" ~cost:175 tan;
+    float_fn "asin" ~cost:185 asin;
+    float_fn "acos" ~cost:185 acos;
+    float_fn "atan" ~cost:175 atan;
+    float_fn "exp" ~cost:130 exp;
+    float_fn "log" ~cost:130 log;
+    float_fn "sqrt" ~cost:14 sqrt (* hardware fsqrt *);
+    (* libcrypto digests; costs reflect Arm crypto extensions *)
+    digest_fn "md5" ~seed:0x6d643500L ~cycles_per_byte:9.0 ~setup:80;
+    digest_fn "sha1" ~seed:0x73686131L ~cycles_per_byte:1.8 ~setup:80;
+    digest_fn "sha256" ~seed:0x73323536L ~cycles_per_byte:1.0 ~setup:90;
+    (* Model-scaled: real RSA is ~50x more cycles; the guest/native
+       ratio — what Figure 13 reports — is preserved. *)
+    rsa_fn "rsa1024_sign" ~cost:40_000;
+    rsa_fn "rsa1024_verify" ~cost:1_500;
+    rsa_fn "rsa2048_sign" ~cost:250_000;
+    rsa_fn "rsa2048_verify" ~cost:4_500;
+    (* libsqlite: one speedtest1 work unit *)
+    ( "sqlite_step",
+      {
+        signature = sig_ "sqlite_step" Idl.I64 [ Idl.I64 ];
+        call = (fun _ args -> Int64.add (List.nth args 0) 1L);
+        cycles = (fun _ -> 20_000);
+      } );
+    (* libc *)
+    ( "strlen",
+      {
+        signature = sig_ "strlen" Idl.I64 [ Idl.Ptr ];
+        call =
+          (fun mem args ->
+            let ptr = List.nth args 0 in
+            let rec go i =
+              if Memsys.Mem.load_byte mem (Int64.add ptr (Int64.of_int i)) = 0
+              then Int64.of_int i
+              else go (i + 1)
+            in
+            go 0);
+        cycles = (fun _ -> 40);
+      } );
+    ( "memcpy",
+      {
+        signature = sig_ "memcpy" Idl.Ptr [ Idl.Ptr; Idl.Ptr; Idl.I64 ];
+        call =
+          (fun mem args ->
+            let dst = List.nth args 0
+            and src = List.nth args 1
+            and len = Int64.to_int (List.nth args 2) in
+            for i = 0 to len - 1 do
+              Memsys.Mem.store_byte mem
+                (Int64.add dst (Int64.of_int i))
+                (Memsys.Mem.load_byte mem (Int64.add src (Int64.of_int i)))
+            done;
+            dst);
+        cycles = (fun args -> 12 + (Int64.to_int (List.nth args 2) / 8));
+      } );
+  ]
+
+let find name = Option.map snd (List.find_opt (fun (n, _) -> n = name) all)
+let names = List.map fst all
+let idl_text = Idl.to_string (List.map (fun (_, f) -> f.signature) all)

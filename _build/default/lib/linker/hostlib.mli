@@ -1,0 +1,31 @@
+(** The native host shared libraries available to the dynamic linker.
+
+    Each function carries its IDL signature, a semantic implementation
+    (operating on guest memory for pointer arguments), and a cycle cost
+    function — the model-time cost of the {e native} code, typically far
+    below the cost of translating and running the guest implementation.
+
+    Stand-ins provided: libm (sin…atan, exp, log, sqrt), libcrypto
+    digests (md5/sha1/sha256 over guest buffers) and RSA sign/verify,
+    libsqlite's speedtest step, and libc's strlen/memcpy. *)
+
+type fn = {
+  signature : Idl.signature;
+  call : Memsys.Mem.t -> int64 list -> int64;
+  cycles : int64 list -> int;  (** native execution cost *)
+}
+
+(** All registered host functions. *)
+val all : (string * fn) list
+
+val find : string -> fn option
+val names : string list
+
+(** The IDL text describing every function in {!all} (what a user would
+    ship as the IDL file). *)
+val idl_text : string
+
+(** Float↔bits helpers used by f64 marshaling. *)
+val of_f : float -> int64
+
+val to_f : int64 -> float

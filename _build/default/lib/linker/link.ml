@@ -1,0 +1,25 @@
+type entry = { name : string; plt_addr : int64; signature : Idl.signature }
+type t = { table : entry list; unresolved : string list }
+
+let empty = { table = []; unresolved = [] }
+
+let resolve (image : Image.Gelf.t) sigs =
+  let resolve_one name =
+    match
+      ( List.find_opt (fun (s : Idl.signature) -> s.name = name) sigs,
+        Hostlib.find name,
+        List.assoc_opt name image.Image.Gelf.plt )
+    with
+    | Some signature, Some _, Some plt_addr -> Either.Left { name; plt_addr; signature }
+    | _ -> Either.Right name
+  in
+  let table, unresolved =
+    List.partition_map resolve_one image.Image.Gelf.imports
+  in
+  { table; unresolved }
+
+let entries t = t.table
+let unresolved t = t.unresolved
+
+let lookup t addr =
+  List.find_opt (fun e -> Int64.equal e.plt_addr addr) t.table

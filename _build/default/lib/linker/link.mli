@@ -1,0 +1,27 @@
+(** PLT resolution (paper §6.2, Figure 11, steps 1–2).
+
+    At load time the IDL is read, the image's imports (.dynsym) are
+    matched against the described signatures and the available host
+    functions, and each matched import's PLT address is stored in a
+    lookup table.  At translation time the frontend checks every block
+    address against this table. *)
+
+type entry = { name : string; plt_addr : int64; signature : Idl.signature }
+
+type t
+
+(** [resolve image sigs] builds the lookup table for imports that are
+    both described in the IDL and present in the host library. *)
+val resolve : Image.Gelf.t -> Idl.signature list -> t
+
+(** All resolved entries. *)
+val entries : t -> entry list
+
+(** Lookup by block address (Figure 11 step 3/4 dispatch). *)
+val lookup : t -> int64 -> entry option
+
+(** Imports that could not be linked (missing from the IDL or the host
+    system) — these fall back to guest translation. *)
+val unresolved : t -> string list
+
+val empty : t

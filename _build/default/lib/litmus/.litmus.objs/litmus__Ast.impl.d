@@ -1,0 +1,1 @@
+lib/litmus/ast.ml: Axiom Fmt List Printf String

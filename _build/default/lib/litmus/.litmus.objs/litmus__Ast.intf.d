@@ -1,0 +1,1 @@
+lib/litmus/ast.mli: Axiom Format

@@ -1,0 +1,1 @@
+lib/litmus/dsl.ml: Ast Axiom List

@@ -1,0 +1,1 @@
+lib/litmus/dsl.mli: Ast Axiom

@@ -1,0 +1,1 @@
+lib/litmus/enumerate.ml: Ast Axiom Fmt Iset List Option Rel Relalg

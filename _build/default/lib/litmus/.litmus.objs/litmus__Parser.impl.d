@@ -1,0 +1,1 @@
+lib/litmus/parser.ml: Ast Axiom Buffer Format List Printf String

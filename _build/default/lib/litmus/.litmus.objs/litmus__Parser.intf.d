@@ -1,0 +1,1 @@
+lib/litmus/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/litmus/tso_machine.ml: Ast Axiom Enumerate Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/litmus/tso_machine.mli: Ast Enumerate

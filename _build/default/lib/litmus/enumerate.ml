@@ -1,0 +1,380 @@
+open Relalg
+module E = Axiom.Event
+module X = Axiom.Execution
+
+type behaviour = {
+  mem : (string * int) list;
+  regs : ((int * string) * int) list;
+}
+
+let behaviour_compare = compare
+
+let pp_behaviour ppf b =
+  let pp_mem ppf (l, v) = Fmt.pf ppf "%s=%d" l v in
+  let pp_reg ppf ((tid, r), v) = Fmt.pf ppf "%d:%s=%d" tid r v in
+  Fmt.pf ppf "@[%a %a@]"
+    Fmt.(list ~sep:sp pp_mem)
+    b.mem
+    Fmt.(list ~sep:sp pp_reg)
+    b.regs
+
+(* ------------------------------------------------------------------ *)
+(* Value universe                                                      *)
+
+let rec exp_consts acc = function
+  | Ast.Int n -> n :: acc
+  | Ast.Reg _ -> acc
+  | Ast.Add (a, b) | Ast.Sub (a, b) | Ast.Mul (a, b) | Ast.Xor (a, b)
+  | Ast.Eq (a, b) | Ast.Ne (a, b) ->
+      exp_consts (exp_consts acc a) b
+
+let rec instr_consts acc = function
+  | Ast.Load _ | Ast.Fence _ -> acc
+  | Ast.Store { value; _ } -> exp_consts acc value
+  | Ast.Cas { expect; desired; _ } -> exp_consts (exp_consts acc expect) desired
+  | Ast.Assign (_, e) -> exp_consts acc e
+  | Ast.If { cond; then_; else_ } ->
+      let acc = exp_consts acc cond in
+      let acc = List.fold_left instr_consts acc then_ in
+      List.fold_left instr_consts acc else_
+
+let universe (p : Ast.prog) =
+  let consts =
+    List.fold_left
+      (fun acc t -> List.fold_left instr_consts acc t.Ast.code)
+      (List.map snd p.init) p.threads
+  in
+  List.sort_uniq compare (0 :: consts)
+
+(* ------------------------------------------------------------------ *)
+(* Per-thread symbolic runs with a read-value oracle                   *)
+
+type state = {
+  next : int;
+  env : (string * (int * Iset.t)) list;  (* reg -> value, taint *)
+  ctrl : Iset.t;  (* reads the current control flow depends on *)
+  events : E.t list;  (* reversed *)
+  rmw : (int * int * Ast.rmw_kind) list;
+  data : (int * int) list;
+  ctrl_edges : (int * int) list;
+}
+
+type run = {
+  r_events : E.t list;  (* in po order *)
+  r_rmw : (int * int * Ast.rmw_kind) list;
+  r_data : (int * int) list;
+  r_ctrl : (int * int) list;
+  r_env : (string * int) list;
+}
+
+let eval env e =
+  let rec go = function
+    | Ast.Int n -> (n, Iset.empty)
+    | Ast.Reg r -> (
+        match List.assoc_opt r env with
+        | Some (v, t) -> (v, t)
+        | None -> (0, Iset.empty))
+    | Ast.Add (a, b) -> bin ( + ) a b
+    | Ast.Sub (a, b) -> bin ( - ) a b
+    | Ast.Mul (a, b) -> bin ( * ) a b
+    | Ast.Xor (a, b) -> bin ( lxor ) a b
+    | Ast.Eq (a, b) -> bin (fun x y -> if x = y then 1 else 0) a b
+    | Ast.Ne (a, b) -> bin (fun x y -> if x <> y then 1 else 0) a b
+  and bin f a b =
+    let va, ta = go a and vb, tb = go b in
+    (f va vb, Iset.union ta tb)
+  in
+  go e
+
+let set_reg env r v t = (r, (v, t)) :: List.remove_assoc r env
+
+let fresh_event st tid label =
+  let e = { E.id = st.next; tid; label } in
+  let ctrl_edges =
+    if E.is_mem e then
+      Iset.fold (fun src acc -> (src, e.id) :: acc) st.ctrl st.ctrl_edges
+    else st.ctrl_edges
+  in
+  (e, { st with next = st.next + 1; events = e :: st.events; ctrl_edges })
+
+(* The ords carried by the events of an RMW, per architecture flavour. *)
+let rmw_ords = function
+  | Ast.Rmw_x86 -> (E.R_plain, E.W_plain)
+  | Ast.Rmw_tcg -> (E.R_sc, E.W_sc)
+  | Ast.Rmw_arm { acq; rel; _ } ->
+      ((if acq then E.R_acq else E.R_plain), if rel then E.W_rel else E.W_plain)
+
+let thread_runs uni tid (code : Ast.instr list) ~first_id =
+  let rec exec st instrs =
+    match instrs with
+    | [] ->
+        [
+          {
+            r_events = List.rev st.events;
+            r_rmw = st.rmw;
+            r_data = st.data;
+            r_ctrl = st.ctrl_edges;
+            r_env = List.map (fun (r, (v, _)) -> (r, v)) st.env;
+          };
+        ]
+    | i :: rest -> (
+        match i with
+        | Ast.Assign (r, e) ->
+            let v, t = eval st.env e in
+            exec { st with env = set_reg st.env r v t } rest
+        | Ast.Fence f ->
+            let _, st = fresh_event st tid (E.Fence f) in
+            exec st rest
+        | Ast.Store { loc; value; ord } ->
+            let v, t = eval st.env value in
+            let e, st = fresh_event st tid (E.Write { loc; value = v; ord }) in
+            let data =
+              Iset.fold (fun src acc -> (src, e.id) :: acc) t st.data
+            in
+            exec { st with data } rest
+        | Ast.Load { reg; loc; ord } ->
+            List.concat_map
+              (fun v ->
+                let e, st =
+                  fresh_event st tid (E.Read { loc; value = v; ord })
+                in
+                exec
+                  { st with env = set_reg st.env reg v (Iset.singleton e.id) }
+                  rest)
+              uni
+        | Ast.Cas { reg; loc; expect; desired; kind } ->
+            let exp_v, exp_t = eval st.env expect in
+            let des_v, des_t = eval st.env desired in
+            let rord, word = rmw_ords kind in
+            List.concat_map
+              (fun v ->
+                let re, st =
+                  fresh_event st tid (E.Read { loc; value = v; ord = rord })
+                in
+                let st =
+                  match reg with
+                  | Some r ->
+                      { st with env = set_reg st.env r v (Iset.singleton re.id) }
+                  | None -> st
+                in
+                if v = exp_v then
+                  (* Success: write the desired value, rmw-paired. *)
+                  let we, st =
+                    fresh_event st tid
+                      (E.Write { loc; value = des_v; ord = word })
+                  in
+                  let data =
+                    Iset.fold
+                      (fun src acc -> (src, we.id) :: acc)
+                      (Iset.union des_t exp_t) st.data
+                  in
+                  exec
+                    { st with data; rmw = (re.id, we.id, kind) :: st.rmw }
+                    rest
+                else exec st rest)
+              uni
+        | Ast.If { cond; then_; else_ } ->
+            let v, t = eval st.env cond in
+            let st = { st with ctrl = Iset.union st.ctrl t } in
+            let branch = if v <> 0 then then_ else else_ in
+            exec st (branch @ rest))
+  in
+  exec
+    {
+      next = first_id;
+      env = [];
+      ctrl = Iset.empty;
+      events = [];
+      rmw = [];
+      data = [];
+      ctrl_edges = [];
+    }
+    code
+
+(* ------------------------------------------------------------------ *)
+(* Candidate assembly                                                  *)
+
+let cartesian (lists : 'a list list) : 'a list list =
+  List.fold_right
+    (fun l acc -> List.concat_map (fun x -> List.map (fun rest -> x :: rest) acc) l)
+    lists [ [] ]
+
+let init_events (p : Ast.prog) ~first_id =
+  let locs = Ast.locations p in
+  List.mapi
+    (fun i loc ->
+      let value = Option.value ~default:0 (List.assoc_opt loc p.init) in
+      { E.id = first_id + i; tid = E.init_tid; label = E.Write { loc; value; ord = E.W_plain } })
+    locs
+
+let candidates (p : Ast.prog) =
+  let uni = universe p in
+  let inits = init_events p ~first_id:0 in
+  let base = List.length inits in
+  (* Each thread gets a disjoint id range. *)
+  let stride = 256 in
+  let runs_per_thread =
+    List.map
+      (fun (t : Ast.thread) ->
+        thread_runs uni t.tid t.code ~first_id:(base + (t.tid * stride)))
+      p.threads
+  in
+  let combos = cartesian runs_per_thread in
+  List.concat_map
+    (fun (runs : run list) ->
+      let thread_events = List.concat_map (fun r -> r.r_events) runs in
+      let events = inits @ thread_events in
+      let po =
+        List.fold_left
+          (fun acc r ->
+            let rec pairs acc = function
+              | [] -> acc
+              | (e : E.t) :: rest ->
+                  pairs
+                    (List.fold_left
+                       (fun acc (e' : E.t) -> Rel.add e.id e'.id acc)
+                       acc rest)
+                    rest
+            in
+            pairs acc r.r_events)
+          Rel.empty runs
+      in
+      let regs =
+        List.concat_map
+          (fun (r, run) -> List.map (fun (reg, v) -> ((r, reg), v)) run.r_env)
+          (List.mapi (fun i run -> (i, run)) runs)
+        |> List.sort compare
+      in
+      let rmw_all = List.concat_map (fun r -> r.r_rmw) runs in
+      let data =
+        Rel.of_list (List.concat_map (fun r -> r.r_data) runs)
+      in
+      let ctrl =
+        Rel.of_list (List.concat_map (fun r -> r.r_ctrl) runs)
+      in
+      let writes_of loc =
+        List.filter
+          (fun (e : E.t) -> E.is_write e && E.loc e = Some loc)
+          events
+      in
+      (* rf choices per read *)
+      let reads = List.filter E.is_read events in
+      let rf_choices =
+        List.map
+          (fun (rd : E.t) ->
+            let loc = Option.get (E.loc rd) in
+            let v = Option.get (E.value rd) in
+            let srcs =
+              List.filter
+                (fun (w : E.t) -> E.value w = Some v && w.id <> rd.id)
+                (writes_of loc)
+            in
+            List.map (fun (w : E.t) -> (w.id, rd.id)) srcs)
+          reads
+      in
+      if List.exists (fun l -> l = []) rf_choices then []
+      else
+        let rfs = cartesian rf_choices in
+        (* co choices per location *)
+        let locs = Ast.locations p in
+        let co_choices =
+          List.map
+            (fun loc ->
+              let ws = writes_of loc in
+              let ids = Iset.of_list (List.map (fun (e : E.t) -> e.id) ws) in
+              let constraints =
+                List.fold_left
+                  (fun acc (w : E.t) ->
+                    if E.is_init w then
+                      List.fold_left
+                        (fun acc (w' : E.t) ->
+                          if E.is_init w' then acc else Rel.add w.id w'.id acc)
+                        acc ws
+                    else acc)
+                  Rel.empty ws
+              in
+              Rel.linear_extensions ids constraints)
+            locs
+        in
+        let cos = cartesian co_choices in
+        List.concat_map
+          (fun rf_pairs ->
+            let rf = Rel.of_list rf_pairs in
+            List.map
+              (fun co_parts ->
+                let co = Rel.union_all co_parts in
+                let pick k =
+                  List.fold_left
+                    (fun acc (r, w, kind) ->
+                      if k kind then Rel.add r w acc else acc)
+                    Rel.empty rmw_all
+                in
+                let x =
+                  {
+                    X.events;
+                    po;
+                    rf;
+                    co;
+                    rmw_plain =
+                      pick (function
+                        | Ast.Rmw_x86 | Ast.Rmw_tcg -> true
+                        | Ast.Rmw_arm _ -> false);
+                    amo =
+                      pick (function
+                        | Ast.Rmw_arm { impl = Ast.Amo; _ } -> true
+                        | _ -> false);
+                    lxsx =
+                      pick (function
+                        | Ast.Rmw_arm { impl = Ast.Lxsx; _ } -> true
+                        | _ -> false);
+                    data;
+                    ctrl;
+                    addr = Rel.empty;
+                  }
+                in
+                (x, regs))
+              cos)
+          rfs)
+    combos
+
+let executions (m : Axiom.Model.t) p =
+  List.filter_map
+    (fun (x, _) -> if m.Axiom.Model.consistent x then Some x else None)
+    (candidates p)
+
+let behaviours (m : Axiom.Model.t) p =
+  let bs =
+    List.filter_map
+      (fun (x, regs) ->
+        if m.Axiom.Model.consistent x then
+          Some { mem = X.behaviour x; regs }
+        else None)
+      (candidates p)
+  in
+  List.sort_uniq behaviour_compare bs
+
+let rec eval_cond (c : Ast.cond) b =
+  match c with
+  | Ast.True -> true
+  | Ast.Reg_is (tid, r, v) -> List.assoc_opt (tid, r) b.regs = Some v
+  | Ast.Loc_is (l, v) -> List.assoc_opt l b.mem = Some v
+  | Ast.And (a, b') -> eval_cond a b && eval_cond b' b
+  | Ast.Or (a, b') -> eval_cond a b || eval_cond b' b
+  | Ast.Not a -> not (eval_cond a b)
+
+type verdict = {
+  ok : bool;
+  total_consistent : int;
+  witnesses : behaviour list;
+}
+
+let check m (t : Ast.test) =
+  let bs = behaviours m t.prog in
+  let cond = match t.expect with Ast.Allowed c | Ast.Forbidden c -> c in
+  let witnesses = List.filter (eval_cond cond) bs in
+  let ok =
+    match t.expect with
+    | Ast.Allowed _ -> witnesses <> []
+    | Ast.Forbidden _ -> witnesses = []
+  in
+  { ok; total_consistent = List.length bs; witnesses }

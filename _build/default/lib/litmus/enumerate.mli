@@ -1,0 +1,50 @@
+(** Exhaustive enumeration of the consistent executions of a litmus
+    program under a memory model.
+
+    The generator follows the standard candidate-execution recipe:
+
+    + each thread is run symbolically with a read-value oracle drawing
+      from the program's value universe (constants ∪ initial values),
+      resolving control flow and recording events, RMW pairing and
+      data/control dependencies;
+    + reads-from is enumerated over value-compatible writes;
+    + coherence is enumerated as the linear extensions of the per-location
+      write sets (initialisation writes first);
+    + candidates are filtered by the model's consistency predicate.
+
+    Exact for loop-free litmus-sized programs. *)
+
+(** A behaviour: final memory (co-maximal writes) plus the final local
+    register valuation of each thread, both canonically sorted. *)
+type behaviour = {
+  mem : (string * int) list;
+  regs : ((int * string) * int) list;
+}
+
+val behaviour_compare : behaviour -> behaviour -> int
+val pp_behaviour : Format.formatter -> behaviour -> unit
+
+(** The value universe used by the read oracle. *)
+val universe : Ast.prog -> int list
+
+(** All candidate executions (before model filtering), paired with the
+    thread-local register valuations of the runs that produced them. *)
+val candidates : Ast.prog -> (Axiom.Execution.t * ((int * string) * int) list) list
+
+(** Consistent executions under a model. *)
+val executions : Axiom.Model.t -> Ast.prog -> Axiom.Execution.t list
+
+(** The set of behaviours of the consistent executions, deduplicated and
+    sorted. *)
+val behaviours : Axiom.Model.t -> Ast.prog -> behaviour list
+
+val eval_cond : Ast.cond -> behaviour -> bool
+
+type verdict = {
+  ok : bool;
+  total_consistent : int;
+  witnesses : behaviour list;  (** behaviours satisfying the condition *)
+}
+
+(** Check a test's expectation under a model. *)
+val check : Axiom.Model.t -> Ast.test -> verdict

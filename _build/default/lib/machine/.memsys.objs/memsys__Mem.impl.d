@@ -1,0 +1,1 @@
+lib/machine/mem.ml: Hashtbl Int64 List

@@ -1,0 +1,69 @@
+type t = {
+  words : (int64, int64) Hashtbl.t;
+  owners : (int64, int) Hashtbl.t;  (* cache line (addr/64) -> tid *)
+  line_sharers : (int64, int list) Hashtbl.t;  (* line -> tids seen *)
+}
+
+let create () =
+  {
+    words = Hashtbl.create 1024;
+    owners = Hashtbl.create 64;
+    line_sharers = Hashtbl.create 64;
+  }
+
+let word_addr addr = Int64.logand addr (Int64.lognot 7L)
+
+let load m addr =
+  match Hashtbl.find_opt m.words (word_addr addr) with
+  | Some v -> v
+  | None -> 0L
+
+let store m addr v = Hashtbl.replace m.words (word_addr addr) v
+
+let load_byte m addr =
+  let w = load m addr in
+  let shift = 8 * Int64.to_int (Int64.rem addr 8L) in
+  Int64.to_int (Int64.logand (Int64.shift_right_logical w shift) 0xFFL)
+
+let store_byte m addr b =
+  let w = load m addr in
+  let shift = 8 * Int64.to_int (Int64.rem addr 8L) in
+  let mask = Int64.shift_left 0xFFL shift in
+  let w' =
+    Int64.logor
+      (Int64.logand w (Int64.lognot mask))
+      (Int64.shift_left (Int64.of_int (b land 0xFF)) shift)
+  in
+  store m addr w'
+
+let line addr = Int64.div addr 64L
+let owner m addr = Hashtbl.find_opt m.owners (line addr)
+
+let sharers m addr =
+  match Hashtbl.find_opt m.line_sharers (line addr) with
+  | Some l -> List.length l
+  | None -> 0
+
+let acquire_line m addr ~tid =
+  let l = line addr in
+  (match Hashtbl.find_opt m.line_sharers l with
+  | Some ts when List.mem tid ts -> ()
+  | Some ts -> Hashtbl.replace m.line_sharers l (tid :: ts)
+  | None -> Hashtbl.replace m.line_sharers l [ tid ]);
+  match Hashtbl.find_opt m.owners l with
+  | Some t when t = tid -> false
+  | Some _ ->
+      Hashtbl.replace m.owners l tid;
+      true
+  | None ->
+      Hashtbl.replace m.owners l tid;
+      false
+
+let clear m =
+  Hashtbl.reset m.words;
+  Hashtbl.reset m.owners;
+  Hashtbl.reset m.line_sharers
+
+let dump m =
+  Hashtbl.fold (fun a v acc -> (a, v) :: acc) m.words []
+  |> List.sort compare

@@ -1,0 +1,35 @@
+(** Shared word-addressable memory for the guest/host machines.
+
+    Addresses are byte addresses; accesses are 64-bit words on 8-byte
+    aligned addresses (the subset ISAs only generate aligned accesses).
+    Also tracks per-cache-line ownership, used by the CAS contention
+    cost model (paper §7.4): an atomic by a thread that does not own the
+    line pays a transfer penalty. *)
+
+type t
+
+val create : unit -> t
+val load : t -> int64 -> int64
+val store : t -> int64 -> int64 -> unit
+
+(** Byte access (used by the image loader for .data-like content). *)
+val load_byte : t -> int64 -> int
+
+val store_byte : t -> int64 -> int -> unit
+
+(** [owner m addr] is the id of the thread owning [addr]'s cache line,
+    or [None] if untouched. *)
+val owner : t -> int64 -> int option
+
+(** [acquire_line m addr ~tid] makes [tid] the owner; returns [true]
+    when this required a transfer (previous owner was another thread). *)
+val acquire_line : t -> int64 -> tid:int -> bool
+
+(** Number of distinct threads that have performed atomic accesses to
+    [addr]'s cache line — drives the contention cost model. *)
+val sharers : t -> int64 -> int
+
+val clear : t -> unit
+
+(** Snapshot of all (addr, value) pairs, sorted — for tests. *)
+val dump : t -> (int64 * int64) list

@@ -1,0 +1,1 @@
+lib/mapping/check.ml: Fmt List Litmus Printf

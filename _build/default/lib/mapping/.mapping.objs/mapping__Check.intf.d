@@ -1,0 +1,1 @@
+lib/mapping/check.mli: Axiom Format Litmus

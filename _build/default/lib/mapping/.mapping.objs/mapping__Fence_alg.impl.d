@@ -1,0 +1,1 @@
+lib/mapping/fence_alg.ml: Axiom Fun List

@@ -1,0 +1,1 @@
+lib/mapping/fence_alg.mli: Axiom

@@ -1,0 +1,1 @@
+lib/mapping/minimality.ml: Axiom Check Fmt List Litmus Printf

@@ -1,0 +1,1 @@
+lib/mapping/minimality.mli: Axiom Format Litmus

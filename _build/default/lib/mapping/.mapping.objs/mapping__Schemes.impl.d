@@ -1,0 +1,1 @@
+lib/mapping/schemes.ml: Axiom Litmus

@@ -1,0 +1,1 @@
+lib/mapping/schemes.mli: Axiom Litmus

@@ -1,0 +1,1 @@
+lib/mapping/transform.ml: Axiom Check Fence_alg List Litmus Printf

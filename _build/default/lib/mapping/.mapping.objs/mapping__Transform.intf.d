@@ -1,0 +1,1 @@
+lib/mapping/transform.mli: Check Litmus

@@ -1,0 +1,44 @@
+module En = Litmus.Enumerate
+
+type report = {
+  name : string;
+  ok : bool;
+  src_behaviours : int;
+  tgt_behaviours : int;
+  extra : En.behaviour list;
+}
+
+let refines ~src_model ~tgt_model ~src ~tgt =
+  let bs = En.behaviours src_model src in
+  let bt = En.behaviours tgt_model tgt in
+  let extra =
+    List.filter
+      (fun b -> not (List.exists (fun b' -> En.behaviour_compare b b' = 0) bs))
+      bt
+  in
+  {
+    name = src.Litmus.Ast.name;
+    ok = extra = [];
+    src_behaviours = List.length bs;
+    tgt_behaviours = List.length bt;
+    extra;
+  }
+
+let check_scheme ~name f ~src_model ~tgt_model corpus =
+  List.map
+    (fun (tname, src) ->
+      let tgt = f src in
+      let r = refines ~src_model ~tgt_model ~src ~tgt in
+      { r with name = Printf.sprintf "%s: %s" name tname })
+    corpus
+
+let all_ok = List.for_all (fun r -> r.ok)
+
+let pp_report ppf r =
+  Fmt.pf ppf "[%s] %s (src:%d tgt:%d behaviours)"
+    (if r.ok then "OK" else "VIOLATION")
+    r.name r.src_behaviours r.tgt_behaviours;
+  if not r.ok then
+    Fmt.pf ppf "@,  new behaviours: @[<v>%a@]"
+      (Fmt.list ~sep:Fmt.cut En.pp_behaviour)
+      r.extra

@@ -1,0 +1,37 @@
+(** Executable Theorem 1 (paper §5.4): a transformation from source
+    program [Ps] in model [Ms] to target [Pt] in [Mt] is correct if every
+    consistent target behaviour is a consistent source behaviour.
+
+    This module checks behaviour inclusion by exhaustive enumeration —
+    the executable counterpart of the paper's Agda proofs, applied to the
+    litmus corpus. *)
+
+type report = {
+  name : string;
+  ok : bool;
+  src_behaviours : int;
+  tgt_behaviours : int;
+  extra : Litmus.Enumerate.behaviour list;
+      (** target behaviours with no source counterpart (the bug
+          witnesses when [not ok]) *)
+}
+
+val refines :
+  src_model:Axiom.Model.t ->
+  tgt_model:Axiom.Model.t ->
+  src:Litmus.Ast.prog ->
+  tgt:Litmus.Ast.prog ->
+  report
+
+(** [check_scheme ~name f ~src_model ~tgt_model corpus] maps every
+    corpus program through [f] and checks refinement. *)
+val check_scheme :
+  name:string ->
+  (Litmus.Ast.prog -> Litmus.Ast.prog) ->
+  src_model:Axiom.Model.t ->
+  tgt_model:Axiom.Model.t ->
+  (string * Litmus.Ast.prog) list ->
+  report list
+
+val all_ok : report list -> bool
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,92 @@
+module E = Axiom.Event
+
+type t = {
+  rr : bool;
+  rw : bool;
+  wr : bool;
+  ww : bool;
+  acq : bool;
+  rel : bool;
+  sc : bool;
+}
+
+let none =
+  { rr = false; rw = false; wr = false; ww = false; acq = false; rel = false; sc = false }
+
+let of_fence = function
+  | E.F_rr -> { none with rr = true }
+  | E.F_rw -> { none with rw = true }
+  | E.F_rm -> { none with rr = true; rw = true }
+  | E.F_wr -> { none with wr = true }
+  | E.F_ww -> { none with ww = true }
+  | E.F_wm -> { none with wr = true; ww = true }
+  | E.F_mr -> { none with rr = true; wr = true }
+  | E.F_mw -> { none with rw = true; ww = true }
+  | E.F_mm -> { none with rr = true; rw = true; wr = true; ww = true }
+  | E.F_acq -> { none with acq = true }
+  | E.F_rel -> { none with rel = true }
+  | E.F_sc ->
+      { rr = true; rw = true; wr = true; ww = true; acq = true; rel = true; sc = true }
+  | E.F_mfence ->
+      (* x86 MFENCE maps to Fsc in the IR (Figure 7a). *)
+      { rr = true; rw = true; wr = true; ww = true; acq = true; rel = true; sc = true }
+  | E.F_dmb_full ->
+      { rr = true; rw = true; wr = true; ww = true; acq = true; rel = true; sc = false }
+  | E.F_dmb_ld -> { none with rr = true; rw = true }
+  | E.F_dmb_st -> { none with ww = true }
+
+let join a b =
+  {
+    rr = a.rr || b.rr;
+    rw = a.rw || b.rw;
+    wr = a.wr || b.wr;
+    ww = a.ww || b.ww;
+    acq = a.acq || b.acq;
+    rel = a.rel || b.rel;
+    sc = a.sc || b.sc;
+  }
+
+let leq a b =
+  (not a.rr || b.rr)
+  && (not a.rw || b.rw)
+  && (not a.wr || b.wr)
+  && (not a.ww || b.ww)
+  && (not a.acq || b.acq)
+  && (not a.rel || b.rel)
+  && ((not a.sc) || b.sc)
+
+(* Candidate TCG kinds from weakest to strongest. *)
+let tcg_kinds =
+  [
+    E.F_rr;
+    E.F_rw;
+    E.F_wr;
+    E.F_ww;
+    E.F_acq;
+    E.F_rel;
+    E.F_rm;
+    E.F_wm;
+    E.F_mr;
+    E.F_mw;
+    E.F_mm;
+    E.F_sc;
+  ]
+
+let strength f =
+  List.length
+    (List.filter Fun.id [ f.rr; f.rw; f.wr; f.ww; f.acq; f.rel; f.sc ])
+
+let to_tcg_fence t =
+  let candidates =
+    List.filter (fun k -> leq t (of_fence k)) tcg_kinds
+  in
+  match
+    List.sort
+      (fun a b -> compare (strength (of_fence a)) (strength (of_fence b)))
+      candidates
+  with
+  | k :: _ -> k
+  | [] -> E.F_sc
+
+let merge f1 f2 = to_tcg_fence (join (of_fence f1) (of_fence f2))
+let subsumes f1 f2 = leq (of_fence f2) (of_fence f1)

@@ -1,0 +1,153 @@
+open Litmus.Ast
+module E = Axiom.Event
+
+type frontend = Qemu_frontend | Risotto_frontend | No_fences_frontend
+
+let x86_to_tcg frontend p =
+  let map_one i =
+    match (frontend, i) with
+    | _, If _ | _, Assign _ -> [ i ]
+    | Qemu_frontend, Load { reg; loc; _ } ->
+        [ Fence E.F_mr; Load { reg; loc; ord = E.R_plain } ]
+    | Qemu_frontend, Store { loc; value; _ } ->
+        [ Fence E.F_mw; Store { loc; value; ord = E.W_plain } ]
+    | Qemu_frontend, Cas c -> [ Cas { c with kind = Rmw_tcg } ]
+    | Qemu_frontend, Fence E.F_mfence -> [ Fence E.F_sc ]
+    | Risotto_frontend, Load { reg; loc; _ } ->
+        [ Load { reg; loc; ord = E.R_plain }; Fence E.F_rm ]
+    | Risotto_frontend, Store { loc; value; _ } ->
+        [ Fence E.F_ww; Store { loc; value; ord = E.W_plain } ]
+    | Risotto_frontend, Cas c -> [ Cas { c with kind = Rmw_tcg } ]
+    | Risotto_frontend, Fence E.F_mfence -> [ Fence E.F_sc ]
+    | No_fences_frontend, Load { reg; loc; _ } ->
+        [ Load { reg; loc; ord = E.R_plain } ]
+    | No_fences_frontend, Store { loc; value; _ } ->
+        [ Store { loc; value; ord = E.W_plain } ]
+    | No_fences_frontend, Cas c -> [ Cas { c with kind = Rmw_tcg } ]
+    | No_fences_frontend, Fence E.F_mfence -> [ Fence E.F_sc ]
+    | _, Fence f -> [ Fence f ]
+  in
+  map_instrs map_one { p with name = p.name ^ "→tcg" }
+
+type rmw_lowering = Helper_gcc9 | Helper_gcc10 | Risotto_rmw2 | Risotto_rmw1
+type backend = { lowering : [ `Qemu | `Risotto ]; rmw : rmw_lowering }
+
+(* Figure 7b fence lowering, extended to the fences the Qemu frontend
+   produces.  Qemu demotes the Fmr it inserts before loads to a DMBLD:
+   this drops the (x86-unneeded) W→R component, mirroring Qemu's
+   demotion of Fmr to Frr for TSO guests (§3.1). *)
+let lower_fence lowering = function
+  | E.F_rr | E.F_rw | E.F_rm -> Some E.F_dmb_ld
+  | E.F_ww -> Some E.F_dmb_st
+  | E.F_wr | E.F_wm | E.F_mm | E.F_sc -> Some E.F_dmb_full
+  | E.F_mw -> Some E.F_dmb_full
+  | E.F_mr -> (
+      match lowering with `Qemu -> Some E.F_dmb_ld | `Risotto -> Some E.F_dmb_full)
+  | E.F_acq | E.F_rel -> None
+  | E.F_mfence -> Some E.F_dmb_full
+  | (E.F_dmb_full | E.F_dmb_ld | E.F_dmb_st) as f -> Some f
+
+let lower_rmw rmw ~reg ~loc ~expect ~desired =
+  let cas kind = Cas { reg; loc; expect; desired; kind } in
+  match rmw with
+  | Helper_gcc9 -> [ cas (Rmw_arm { impl = Lxsx; acq = true; rel = true }) ]
+  | Helper_gcc10 | Risotto_rmw1 ->
+      [ cas (Rmw_arm { impl = Amo; acq = true; rel = true }) ]
+  | Risotto_rmw2 ->
+      [
+        Fence E.F_dmb_full;
+        cas (Rmw_arm { impl = Lxsx; acq = false; rel = false });
+        Fence E.F_dmb_full;
+      ]
+
+let tcg_to_arm (b : backend) p =
+  let map_one i =
+    match i with
+    | If _ | Assign _ -> [ i ]
+    | Load { reg; loc; _ } -> [ Load { reg; loc; ord = E.R_plain } ]
+    | Store { loc; value; _ } -> [ Store { loc; value; ord = E.W_plain } ]
+    | Cas { reg; loc; expect; desired; kind = _ } ->
+        lower_rmw b.rmw ~reg ~loc ~expect ~desired
+    | Fence f -> (
+        match lower_fence b.lowering f with Some f' -> [ Fence f' ] | None -> [])
+  in
+  map_instrs map_one { p with name = p.name ^ "→arm" }
+
+let x86_to_arm frontend backend p = tcg_to_arm backend (x86_to_tcg frontend p)
+
+let x86_to_arm_direct_armcats p =
+  let map_one i =
+    match i with
+    | If _ | Assign _ -> [ i ]
+    | Load { reg; loc; _ } -> [ Load { reg; loc; ord = E.R_acq_pc } ]
+    | Store { loc; value; _ } -> [ Store { loc; value; ord = E.W_rel } ]
+    | Cas c ->
+        [ Cas { c with kind = Rmw_arm { impl = Amo; acq = true; rel = true } } ]
+    | Fence E.F_mfence -> [ Fence E.F_dmb_full ]
+    | Fence f -> [ Fence f ]
+  in
+  map_instrs map_one { p with name = p.name ^ "→arm-cats" }
+
+let qemu_preset = (Qemu_frontend, { lowering = `Qemu; rmw = Helper_gcc10 })
+
+let risotto_rmw2_preset =
+  (Risotto_frontend, { lowering = `Risotto; rmw = Risotto_rmw2 })
+
+let risotto_casal_preset =
+  (Risotto_frontend, { lowering = `Risotto; rmw = Risotto_rmw1 })
+
+(* Figure 1: concurrency primitives per architecture. *)
+let figure1_rows =
+  [
+    ("Load", "RMOV", "ld", "LDR");
+    ("Store", "WMOV", "st", "STR");
+    ("Full-fence", "MFENCE", "Fsc", "DMBFF");
+    ("WW-fence", "", "Fww", "DMBST");
+    ("RM-fence", "", "Frm", "DMBLD");
+    ("MW-fence", "", "Fmw", "");
+    ("Atomic-update", "RMW", "RMW", "RMW1, RMW2");
+    ("Rel.Acq. atomic-update", "", "", "RMW1_AL, RMW2_AL");
+  ]
+
+let figure2_rows =
+  [
+    ("RMOV", "Fmr; ld", "DMBLD; LDR");
+    ("WMOV", "Fmw; st", "DMBFF; STR");
+    ("RMW", "call", "BLR; RMW; RET");
+    ("MFENCE", "Fsc", "DMBFF");
+  ]
+
+let figure3_rows =
+  [
+    ("RMOV", "LDRQ");
+    ("WMOV", "STRL");
+    ("RMW", "RMW1_AL");
+    ("MFENCE", "DMBFF");
+  ]
+
+let figure7a_rows =
+  [
+    ("RMOV", "ld; Frm");
+    ("WMOV", "Fww; st");
+    ("RMW", "RMW");
+    ("MFENCE", "Fsc");
+  ]
+
+let figure7b_rows =
+  [
+    ("ld", "LDR");
+    ("st", "STR");
+    ("RMW", "DMBFF; RMW2; DMBFF or RMW1_AL");
+    ("Frr/Frw/Frm", "DMBLD");
+    ("Fww", "DMBST");
+    ("Fwr/Fmm/Fsc", "DMBFF");
+    ("Facq/Frel", "-");
+  ]
+
+let figure7c_rows =
+  [
+    ("RMOV", "ld; Frm", "LDR; DMBLD");
+    ("WMOV", "Fww; st", "DMBST; STR");
+    ("RMW", "RMW", "DMBFF; RMW2; DMBFF or RMW1_AL");
+    ("MFENCE", "Fsc", "DMBFF");
+  ]

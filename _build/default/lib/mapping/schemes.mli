@@ -1,0 +1,76 @@
+(** Mapping schemes between x86, TCG IR and Arm litmus programs
+    (paper Figures 2, 3 and 7).
+
+    Each scheme is a program-to-program transformation on the
+    architecture-neutral litmus AST; the refinement checker
+    ({!Check.refines}) verifies Theorem 1 for each of them over the
+    litmus corpus. *)
+
+open Litmus.Ast
+
+(** {1 x86 → TCG IR} *)
+
+type frontend =
+  | Qemu_frontend
+      (** Figure 2: [Fmr; ld] and [Fmw; st]; RMW via helper (SC at IR
+          level); MFENCE → Fsc. *)
+  | Risotto_frontend
+      (** Figure 7a: [ld; Frm] and [Fww; st]; RMW → TCG RMW;
+          MFENCE → Fsc. *)
+  | No_fences_frontend
+      (** The (incorrect) oracle configuration: plain accesses, no
+          ordering fences; RMW and MFENCE kept. *)
+
+val x86_to_tcg : frontend -> prog -> prog
+
+(** {1 TCG IR → Arm} *)
+
+(** How TCG RMW operations reach Arm (paper §3.1, §6.3):
+    Qemu lowers via a helper using GCC builtins whose instruction choice
+    depends on the GCC version; Risotto either brackets an exclusive
+    pair in DMBFFs or emits [casal] directly (Figure 7b). *)
+type rmw_lowering =
+  | Helper_gcc9  (** [ldaxr]/[stlxr] pair: RMW2_AL *)
+  | Helper_gcc10  (** [casal]: RMW1_AL *)
+  | Risotto_rmw2  (** DMBFF; RMW2; DMBFF *)
+  | Risotto_rmw1  (** [casal] (needs the corrected Arm-Cats model) *)
+
+type backend = { lowering : [ `Qemu | `Risotto ]; rmw : rmw_lowering }
+
+val tcg_to_arm : backend -> prog -> prog
+
+(** The Figure-7b fence lowering table (extended to the fences the Qemu
+    frontend produces); [None] means no instruction is emitted. *)
+val lower_fence :
+  [ `Qemu | `Risotto ] -> Axiom.Event.fence -> Axiom.Event.fence option
+
+(** {1 Composed / direct schemes} *)
+
+(** x86 → Arm via TCG, composing the two steps. *)
+val x86_to_arm : frontend -> backend -> prog -> prog
+
+(** Figure 3: the "intended" direct mapping inferred from Arm-Cats
+    (LDRQ / STRL / RMW1_AL / DMBFF) — shown incorrect under the
+    original Arm-Cats model by SBAL. *)
+val x86_to_arm_direct_armcats : prog -> prog
+
+(** {1 Presets} *)
+
+(** Qemu as shipped (Figure 2, helper with GCC 10 → casal). *)
+val qemu_preset : frontend * backend
+
+(** Risotto with the verified mappings, RMW2 bracketed in DMBFFs. *)
+val risotto_rmw2_preset : frontend * backend
+
+(** Risotto with direct casal translation (§6.3). *)
+val risotto_casal_preset : frontend * backend
+
+(** Rows of the mapping tables for regeneration of Figures 1, 2, 3, 7. *)
+val figure1_rows : (string * string * string * string) list
+
+val figure2_rows : (string * string * string) list
+
+val figure3_rows : (string * string) list
+val figure7a_rows : (string * string) list
+val figure7b_rows : (string * string) list
+val figure7c_rows : (string * string * string) list

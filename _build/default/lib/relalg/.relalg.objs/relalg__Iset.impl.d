@@ -1,0 +1,1 @@
+lib/relalg/iset.ml: Fmt Int Set

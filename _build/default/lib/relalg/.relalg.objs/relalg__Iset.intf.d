@@ -1,0 +1,1 @@
+lib/relalg/iset.mli: Format

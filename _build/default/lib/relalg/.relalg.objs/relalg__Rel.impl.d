@@ -1,0 +1,1 @@
+lib/relalg/rel.ml: Fmt Hashtbl Int Iset List Set

@@ -1,0 +1,1 @@
+lib/relalg/rel.mli: Format Iset

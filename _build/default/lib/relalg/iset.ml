@@ -1,0 +1,28 @@
+module S = Set.Make (Int)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let mem = S.mem
+let add = S.add
+let remove = S.remove
+let singleton = S.singleton
+let cardinal = S.cardinal
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let equal = S.equal
+let of_list = S.of_list
+let to_list = S.elements
+let elements = S.elements
+let filter = S.filter
+let for_all = S.for_all
+let exists = S.exists
+let fold = S.fold
+let iter = S.iter
+let choose_opt = S.choose_opt
+
+let pp ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (S.elements s)

@@ -1,0 +1,29 @@
+(** Finite sets of integer-identified elements (event ids).
+
+    A thin wrapper around [Set.Make (Int)] with the operations the
+    axiomatic-model layer needs, plus printing. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val singleton : int -> t
+val cardinal : t -> int
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val of_list : int list -> t
+val to_list : t -> int list
+val elements : t -> int list
+val filter : (int -> bool) -> t -> t
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (int -> unit) -> t -> unit
+val choose_opt : t -> int option
+val pp : Format.formatter -> t -> unit

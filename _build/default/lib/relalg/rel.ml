@@ -1,0 +1,140 @@
+module Pair = struct
+  type t = int * int
+
+  let compare (a1, b1) (a2, b2) =
+    match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+end
+
+module S = Set.Make (Pair)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let mem x y r = S.mem (x, y) r
+let add x y r = S.add (x, y) r
+let remove x y r = S.remove (x, y) r
+let singleton x y = S.singleton (x, y)
+let cardinal = S.cardinal
+let of_list l = S.of_list l
+let to_list = S.elements
+let union = S.union
+let union_all rs = List.fold_left S.union S.empty rs
+let inter = S.inter
+let diff = S.diff
+let equal = S.equal
+let subset = S.subset
+
+let fold f r acc = S.fold (fun (x, y) acc -> f x y acc) r acc
+let iter f r = S.iter (fun (x, y) -> f x y) r
+let filter p r = S.filter (fun (x, y) -> p x y) r
+let map_pairs f r = S.map f r
+
+let domain r = fold (fun x _ acc -> Iset.add x acc) r Iset.empty
+let codomain r = fold (fun _ y acc -> Iset.add y acc) r Iset.empty
+let elements r = Iset.union (domain r) (codomain r)
+
+let succs r x = fold (fun a b acc -> if a = x then Iset.add b acc else acc) r Iset.empty
+let preds r y = fold (fun a b acc -> if b = y then Iset.add a acc else acc) r Iset.empty
+
+let compose r s =
+  (* Index s by its domain for a one-pass join. *)
+  let by_dom = Hashtbl.create 16 in
+  S.iter (fun (y, z) -> Hashtbl.add by_dom y z) s;
+  S.fold
+    (fun (x, y) acc ->
+      List.fold_left (fun acc z -> S.add (x, z) acc) acc (Hashtbl.find_all by_dom y))
+    r S.empty
+
+let sequence = function
+  | [] -> invalid_arg "Rel.sequence: empty list"
+  | r :: rs -> List.fold_left compose r rs
+
+let inverse r = S.fold (fun (x, y) acc -> S.add (y, x) acc) r S.empty
+
+let id s = Iset.fold (fun x acc -> S.add (x, x) acc) s S.empty
+
+let cross a b =
+  Iset.fold (fun x acc -> Iset.fold (fun y acc -> S.add (x, y) acc) b acc) a S.empty
+
+let restrict a r b = S.filter (fun (x, y) -> Iset.mem x a && Iset.mem y b) r
+
+let transitive_closure r =
+  let rec fix r =
+    let r' = union r (compose r r) in
+    if equal r r' then r else fix r'
+  in
+  fix r
+
+let reflexive_transitive_closure dom r = union (id dom) (transitive_closure r)
+
+let irreflexive r = not (S.exists (fun (x, y) -> x = y) r)
+let acyclic r = irreflexive (transitive_closure r)
+let minus_id r = S.filter (fun (x, y) -> x <> y) r
+
+let is_strict_total_order_on s r =
+  let r = restrict s r s in
+  irreflexive (transitive_closure r)
+  && Iset.for_all
+       (fun x -> Iset.for_all (fun y -> x = y || mem x y r || mem y x r) s)
+       s
+
+let immediate r =
+  S.filter
+    (fun (x, y) -> not (S.exists (fun (a, b) -> a = x && mem b y r && b <> y && b <> x) r))
+    r
+
+let linear_extensions s r =
+  let r = transitive_closure (restrict s r s) in
+  if not (irreflexive r) then []
+  else
+    (* Enumerate topological orders by repeatedly picking a minimal
+       element among the remaining ones. *)
+    let rec go remaining prefix acc =
+      if Iset.is_empty remaining then List.rev prefix :: acc
+      else
+        Iset.fold
+          (fun x acc ->
+            let minimal =
+              Iset.for_all (fun y -> y = x || not (mem y x r)) remaining
+            in
+            if minimal then go (Iset.remove x remaining) (x :: prefix) acc
+            else acc)
+          remaining acc
+    in
+    let orders = go s [] [] in
+    let order_to_rel order =
+      let rec pairs acc = function
+        | [] -> acc
+        | x :: rest ->
+            pairs (List.fold_left (fun acc y -> add x y acc) acc rest) rest
+      in
+      pairs empty order
+    in
+    List.map order_to_rel orders
+
+let find_cycle r =
+  (* DFS with an explicit ancestor path; relations are litmus-sized so
+     the exponential worst case is irrelevant. *)
+  let rec dfs path x =
+    if List.mem x path then
+      (* path = [parent; grandparent; ...]: the cycle is the prefix up
+         to the earlier occurrence of x, in reverse (edge) order. *)
+      let rec prefix = function
+        | [] -> []
+        | y :: rest -> if y = x then [ y ] else y :: prefix rest
+      in
+      Some (List.rev (prefix path))
+    else
+      Iset.fold
+        (fun y acc -> match acc with Some _ -> acc | None -> dfs (x :: path) y)
+        (succs r x) None
+  in
+  List.fold_left
+    (fun acc x -> match acc with Some _ -> acc | None -> dfs [] x)
+    None
+    (Iset.to_list (elements r))
+
+let pp ppf r =
+  let pp_pair ppf (x, y) = Fmt.pf ppf "(%d,%d)" x y in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp_pair) (to_list r)

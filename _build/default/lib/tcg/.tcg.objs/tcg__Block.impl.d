@@ -1,0 +1,1 @@
+lib/tcg/block.ml: Fmt List Op

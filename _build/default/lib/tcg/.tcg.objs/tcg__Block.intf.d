@@ -1,0 +1,1 @@
+lib/tcg/block.mli: Format Op

@@ -1,0 +1,1 @@
+lib/tcg/constfold.ml: Int List Map Op

@@ -1,0 +1,1 @@
+lib/tcg/constfold.mli: Op

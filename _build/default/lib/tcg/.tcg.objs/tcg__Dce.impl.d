@@ -1,0 +1,1 @@
+lib/tcg/dce.ml: Fun Int List Op Set

@@ -1,0 +1,1 @@
+lib/tcg/dce.mli: Op

@@ -1,0 +1,1 @@
+lib/tcg/fenceopt.ml: Axiom List Mapping Op

@@ -1,0 +1,1 @@
+lib/tcg/fenceopt.mli: Op

@@ -1,0 +1,1 @@
+lib/tcg/interp.ml: Array Block Hashtbl Int64 List Memsys Op Printf

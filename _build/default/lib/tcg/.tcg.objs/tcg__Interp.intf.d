@@ -1,0 +1,1 @@
+lib/tcg/interp.mli: Block Memsys

@@ -1,0 +1,1 @@
+lib/tcg/memopt.ml: Array Axiom Hashtbl List Op Option Seq

@@ -1,0 +1,1 @@
+lib/tcg/op.ml: Axiom Fmt Int64

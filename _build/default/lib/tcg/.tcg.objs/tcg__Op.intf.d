@@ -1,0 +1,1 @@
+lib/tcg/op.mli: Axiom Format

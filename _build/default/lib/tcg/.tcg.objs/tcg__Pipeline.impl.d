@@ -1,0 +1,1 @@
+lib/tcg/pipeline.ml: Block Constfold Dce Fenceopt List Memopt

@@ -1,0 +1,1 @@
+lib/tcg/pipeline.mli: Block Op

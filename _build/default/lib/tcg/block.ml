@@ -1,0 +1,16 @@
+type t = {
+  guest_pc : int64;
+  guest_len : int;
+  guest_insns : int;
+  ops : Op.t list;
+}
+
+let fence_count b =
+  List.length (List.filter (function Op.Mb _ -> true | _ -> false) b.ops)
+
+let op_count b = List.length b.ops
+
+let pp ppf b =
+  Fmt.pf ppf "@[<v>TB@0x%Lx (%d guest insns):@,%a@]" b.guest_pc b.guest_insns
+    (Fmt.list ~sep:Fmt.cut Op.pp)
+    b.ops

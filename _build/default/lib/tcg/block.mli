@@ -1,0 +1,12 @@
+(** Translation blocks: the unit of translation and caching. *)
+
+type t = {
+  guest_pc : int64;  (** guest address of the first instruction *)
+  guest_len : int;  (** bytes of guest code covered *)
+  guest_insns : int;  (** number of guest instructions *)
+  ops : Op.t list;
+}
+
+val fence_count : t -> int
+val op_count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+module IM = Map.Make (Int)
+
+(* Algebraic simplifications that also remove false dependencies. *)
+let simplify op d a (consts : int64 IM.t) imm =
+  match (op, imm) with
+  | Op.Mul, 0L | Op.And, 0L -> Some (Op.Movi (d, 0L))
+  | Op.Mul, 1L | Op.Add, 0L | Op.Sub, 0L | Op.Or, 0L | Op.Xor, 0L
+  | Op.Shl, 0L | Op.Shr, 0L ->
+      Some (Op.Mov (d, a))
+  | _ -> ignore consts; None
+
+let run ops =
+  let rec go consts acc = function
+    | [] -> List.rev acc
+    | op :: rest -> (
+        let const t = IM.find_opt t consts in
+        let with_write d v rest' op' = go (IM.update d (fun _ -> v) consts) (op' :: acc) rest' in
+        match op with
+        | Op.Movi (d, v) -> with_write d (Some v) rest op
+        | Op.Mov (d, s) -> (
+            match const s with
+            | Some v -> with_write d (Some v) rest (Op.Movi (d, v))
+            | None -> with_write d None rest op)
+        | Op.Binop (bop, d, a, b) -> (
+            match (const a, const b) with
+            | Some va, Some vb ->
+                let v = Op.eval_binop bop va vb in
+                with_write d (Some v) rest (Op.Movi (d, v))
+            | None, Some vb -> (
+                match simplify bop d a consts vb with
+                | Some (Op.Movi (_, v) as op') -> with_write d (Some v) rest op'
+                | Some op' -> with_write d (const a) rest op'
+                | None -> with_write d None rest (Op.Binopi (bop, d, a, vb)))
+            | Some va, None when bop = Op.Add || bop = Op.And || bop = Op.Or
+                                 || bop = Op.Xor || bop = Op.Mul ->
+                (* commutative: fold the constant to the immediate side *)
+                with_write d None rest (Op.Binopi (bop, d, b, va))
+            | _ ->
+                if (bop = Op.Xor || bop = Op.Sub) && a = b then
+                  with_write d (Some 0L) rest (Op.Movi (d, 0L))
+                else with_write d None rest op)
+        | Op.Binopi (bop, d, a, imm) -> (
+            match const a with
+            | Some va ->
+                let v = Op.eval_binop bop va imm in
+                with_write d (Some v) rest (Op.Movi (d, v))
+            | None -> (
+                match simplify bop d a consts imm with
+                | Some (Op.Movi (_, v) as op') -> with_write d (Some v) rest op'
+                | Some op' -> with_write d (const a) rest op'
+                | None -> with_write d None rest op))
+        | Op.Setcond (c, d, a, b) -> (
+            match (const a, const b) with
+            | Some va, Some vb ->
+                let v = if Op.eval_cond c va vb then 1L else 0L in
+                with_write d (Some v) rest (Op.Movi (d, v))
+            | _ -> with_write d None rest op)
+        | Op.Brcond (c, a, b, l) -> (
+            match (const a, const b) with
+            | Some va, Some vb ->
+                if Op.eval_cond c va vb then go consts (Op.Br l :: acc) rest
+                else go consts acc rest
+            | _ -> go consts (op :: acc) rest)
+        | Op.Ld (d, _, _) -> with_write d None rest op
+        | Op.Cas { old = d; _ } | Op.Atomic { old = d; _ } ->
+            with_write d None rest op
+        | Op.Call (_, _, Some d) | Op.Host_call { ret = Some d; _ } ->
+            with_write d None rest op
+        | Op.Set_label _ ->
+            (* Join point: discard knowledge. *)
+            go IM.empty (op :: acc) rest
+        | Op.St _ | Op.Mb _ | Op.Br _
+        | Op.Call (_, _, None)
+        | Op.Host_call { ret = None; _ }
+        | Op.Goto_tb _ | Op.Goto_ptr _ | Op.Exit_halt ->
+            go consts (op :: acc) rest)
+  in
+  go IM.empty [] ops

@@ -1,0 +1,57 @@
+module IS = Set.Make (Int)
+
+let removable op =
+  Op.is_pure op || match op with Op.Ld _ -> true | _ -> false
+
+let has_control ops =
+  List.exists
+    (function Op.Set_label _ | Op.Br _ | Op.Brcond _ -> true | _ -> false)
+    ops
+
+let globals = IS.of_list (List.init Op.nb_globals Fun.id)
+
+(* Strategy 1: remove pure ops whose destination temp is local and never
+   read anywhere in the block. *)
+let drop_unread_locals ops =
+  let read =
+    List.fold_left
+      (fun acc op -> List.fold_left (fun acc t -> IS.add t acc) acc (Op.reads op))
+      IS.empty ops
+  in
+  List.filter
+    (fun op ->
+      match (removable op, Op.writes op) with
+      | true, [ d ] -> d < Op.nb_globals || IS.mem d read
+      | _ -> true)
+    ops
+
+(* Strategy 2 (straight-line only): backward liveness.  Block exits make
+   every global live (the next block reads them); helper calls only read
+   their explicit arguments. *)
+let drop_dead_straightline ops =
+  let rec go live acc = function
+    | [] -> acc
+    | op :: before ->
+        let exits_block =
+          match op with
+          | Op.Goto_tb _ | Op.Goto_ptr _ | Op.Exit_halt -> true
+          | _ -> false
+        in
+        let dead d = not (IS.mem d live) in
+        (match (removable op, Op.writes op) with
+        | true, [ d ] when dead d -> go live acc before
+        | _ ->
+            let live =
+              List.fold_left (fun l t -> IS.remove t l) live (Op.writes op)
+            in
+            let live =
+              List.fold_left (fun l t -> IS.add t l) live (Op.reads op)
+            in
+            let live = if exits_block then IS.union live globals else live in
+            go live (op :: acc) before)
+  in
+  go IS.empty [] (List.rev ops)
+
+let run ops =
+  let ops = drop_unread_locals ops in
+  if has_control ops then ops else drop_dead_straightline ops

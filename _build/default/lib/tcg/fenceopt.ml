@@ -1,0 +1,24 @@
+module E = Axiom.Event
+
+(* Can we move a fence across this op when looking for a merge partner?
+   Only pure register computations — no memory accesses, no control. *)
+let transparent op = Op.is_pure op
+
+let rec merge_from f between rest =
+  (* [f] is a pending fence; [between] (reversed) are transparent ops
+     seen since. *)
+  match rest with
+  | Op.Mb f2 :: rest' -> merge_from (Mapping.Fence_alg.merge f f2) between rest'
+  | op :: rest' when transparent op -> merge_from f (op :: between) rest'
+  | _ -> (f, List.rev between, rest)
+
+let rec run = function
+  | [] -> []
+  | Op.Mb f :: rest ->
+      let f', between, rest' = merge_from f [] rest in
+      if f' = E.F_acq || f' = E.F_rel then between @ run rest'
+      else (Op.Mb f' :: between) @ run rest'
+  | op :: rest -> op :: run rest
+
+let count ops =
+  List.length (List.filter (function Op.Mb _ -> true | _ -> false) ops)

@@ -1,0 +1,14 @@
+(** Fence merging (paper §6.1): adjacent fences — fences with no
+    intermediate memory access — are merged into the single weakest TCG
+    fence that dominates both, placed where the earliest fence was:
+
+    {v  a = X;  Frm; Fww;  Y = 1   ↝   a = X;  F(rr∪rw∪ww);  Y = 1  v}
+
+    Pure register ops between two fences do not block merging.  Also
+    drops [Facq]/[Frel] fences, which lower to nothing on Arm
+    (Figure 7b). *)
+
+val run : Op.t list -> Op.t list
+
+(** Count of [Mb] ops, for the statistics the evaluation reports. *)
+val count : Op.t list -> int

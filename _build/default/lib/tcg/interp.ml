@@ -1,0 +1,81 @@
+type exit_state = Next_tb of int64 | Jump of int64 | Halted
+
+type env = {
+  temps : int64 array;
+  mem : Memsys.Mem.t;
+  helpers : string -> int64 list -> int64;
+}
+
+let default_helpers name _ = failwith ("Tcg.Interp: no helper " ^ name)
+
+let create_env ?(helpers = default_helpers) mem =
+  { temps = Array.make 256 0L; mem; helpers }
+
+let exec_block env (b : Block.t) =
+  let ops = Array.of_list b.ops in
+  let labels = Hashtbl.create 8 in
+  Array.iteri
+    (fun i op -> match op with Op.Set_label l -> Hashtbl.replace labels l i | _ -> ())
+    ops;
+  let get t = env.temps.(t) in
+  let set t v = env.temps.(t) <- v in
+  let fuel = ref 1_000_000 in
+  let rec go i =
+    decr fuel;
+    if !fuel <= 0 then failwith "Tcg.Interp: runaway block";
+    if i >= Array.length ops then
+      failwith
+        (Printf.sprintf "Tcg.Interp: block 0x%Lx fell through" b.guest_pc)
+    else
+      match ops.(i) with
+      | Op.Movi (d, v) ->
+          set d v;
+          go (i + 1)
+      | Op.Mov (d, s) ->
+          set d (get s);
+          go (i + 1)
+      | Op.Binop (op, d, a, b') ->
+          set d (Op.eval_binop op (get a) (get b'));
+          go (i + 1)
+      | Op.Binopi (op, d, a, imm) ->
+          set d (Op.eval_binop op (get a) imm);
+          go (i + 1)
+      | Op.Ld (d, base, off) ->
+          set d (Memsys.Mem.load env.mem (Int64.add (get base) off));
+          go (i + 1)
+      | Op.St (s, base, off) ->
+          Memsys.Mem.store env.mem (Int64.add (get base) off) (get s);
+          go (i + 1)
+      | Op.Mb _ -> go (i + 1)
+      | Op.Setcond (c, d, a, b') ->
+          set d (if Op.eval_cond c (get a) (get b') then 1L else 0L);
+          go (i + 1)
+      | Op.Brcond (c, a, b', l) ->
+          if Op.eval_cond c (get a) (get b') then go (Hashtbl.find labels l)
+          else go (i + 1)
+      | Op.Set_label _ -> go (i + 1)
+      | Op.Br l -> go (Hashtbl.find labels l)
+      | Op.Cas { old; addr; expect; desired } ->
+          let a = get addr in
+          let cur = Memsys.Mem.load env.mem a in
+          if Int64.equal cur (get expect) then
+            Memsys.Mem.store env.mem a (get desired);
+          set old cur;
+          go (i + 1)
+      | Op.Atomic { op; old; addr; src } ->
+          let a = get addr in
+          let cur = Memsys.Mem.load env.mem a in
+          (match op with
+          | `Xadd -> Memsys.Mem.store env.mem a (Int64.add cur (get src))
+          | `Xchg -> Memsys.Mem.store env.mem a (get src));
+          set old cur;
+          go (i + 1)
+      | Op.Call (f, args, ret) | Op.Host_call { func = f; args; ret } ->
+          let v = env.helpers f (List.map get args) in
+          (match ret with Some r -> set r v | None -> ());
+          go (i + 1)
+      | Op.Goto_tb pc -> Next_tb pc
+      | Op.Goto_ptr t -> Jump (get t)
+      | Op.Exit_halt -> Halted
+  in
+  go 0

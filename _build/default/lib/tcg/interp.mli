@@ -1,0 +1,24 @@
+(** Direct interpreter for TCG blocks.
+
+    Used for differential testing: the optimizer must preserve the
+    block's observable semantics (final globals, memory, exit), and the
+    Arm backend must agree with this interpreter. *)
+
+type exit_state =
+  | Next_tb of int64  (** continue at a static guest pc *)
+  | Jump of int64  (** computed jump target *)
+  | Halted
+
+type env = {
+  temps : int64 array;
+  mem : Memsys.Mem.t;
+  helpers : string -> int64 list -> int64;
+      (** helper and host-call dispatcher *)
+}
+
+val create_env :
+  ?helpers:(string -> int64 list -> int64) -> Memsys.Mem.t -> env
+
+(** Execute a block to its exit.  Raises [Failure] on a fall-through
+    (blocks must end in an exit op) or runaway internal loop. *)
+val exec_block : env -> Block.t -> exit_state

@@ -1,0 +1,20 @@
+type pass = Const_fold | Dce | Mem_elim | Fence_merge
+
+let pass_name = function
+  | Const_fold -> "const-fold"
+  | Dce -> "dce"
+  | Mem_elim -> "mem-elim"
+  | Fence_merge -> "fence-merge"
+
+let all = [ Const_fold; Mem_elim; Dce; Fence_merge ]
+let qemu_default = [ Const_fold; Mem_elim; Dce ]
+let risotto_default = [ Const_fold; Mem_elim; Dce; Fence_merge ]
+
+let run_pass = function
+  | Const_fold -> Constfold.run
+  | Dce -> Dce.run
+  | Mem_elim -> Memopt.run
+  | Fence_merge -> Fenceopt.run
+
+let run passes (b : Block.t) =
+  { b with ops = List.fold_left (fun ops p -> run_pass p ops) b.ops passes }

@@ -1,0 +1,15 @@
+(** Optimizer pipeline over translation blocks. *)
+
+type pass = Const_fold | Dce | Mem_elim | Fence_merge
+
+val pass_name : pass -> string
+val all : pass list
+
+(** Qemu's baseline optimizations (no fence merging). *)
+val qemu_default : pass list
+
+(** Risotto: Qemu's passes plus fence merging. *)
+val risotto_default : pass list
+
+val run_pass : pass -> Op.t list -> Op.t list
+val run : pass list -> Block.t -> Block.t

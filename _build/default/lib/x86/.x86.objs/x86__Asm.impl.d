@@ -1,0 +1,1 @@
+lib/x86/asm.ml: Buffer Encode Fmt Hashtbl Insn Int64 List Reg

@@ -1,0 +1,1 @@
+lib/x86/encode.ml: Buffer Char Insn Int32 Int64 Printf Reg

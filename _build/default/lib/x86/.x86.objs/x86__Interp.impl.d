@@ -1,0 +1,1 @@
+lib/x86/interp.ml: Array Buffer Char Decode Insn Int64 Memsys Reg

@@ -1,0 +1,1 @@
+lib/x86/interp.mli: Buffer Insn Memsys

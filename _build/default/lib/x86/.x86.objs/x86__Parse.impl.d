@@ -1,0 +1,1 @@
+lib/x86/parse.ml: Asm Format Insn Int64 List Option Reg String

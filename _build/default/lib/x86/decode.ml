@@ -1,0 +1,162 @@
+open Insn
+
+exception Bad_encoding of int64 * string
+
+let alu_of_index = function
+  | 0 -> Add
+  | 1 -> Sub
+  | 2 -> And
+  | 3 -> Or
+  | 4 -> Xor
+  | 5 -> Shl
+  | 6 -> Shr
+  | 7 -> Imul
+  | n -> invalid_arg (Printf.sprintf "alu_of_index %d" n)
+
+let fp_of_index = function
+  | 0 -> Fadd
+  | 1 -> Fsub
+  | 2 -> Fmul
+  | 3 -> Fdiv
+  | 4 -> Fsqrt
+  | n -> invalid_arg (Printf.sprintf "fp_of_index %d" n)
+
+let cc_of_index = function
+  | 0 -> E
+  | 1 -> Ne
+  | 2 -> L
+  | 3 -> Le
+  | 4 -> G
+  | 5 -> Ge
+  | 6 -> B
+  | 7 -> Be
+  | 8 -> A
+  | 9 -> Ae
+  | n -> invalid_arg (Printf.sprintf "cc_of_index %d" n)
+
+type cursor = { text : string; mutable pos : int; pc : int64 }
+
+let byte c =
+  if c.pos >= String.length c.text then
+    raise (Bad_encoding (c.pc, "truncated instruction"));
+  let v = Char.code c.text.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let i32 c =
+  (* sequential lets: `and` bindings have unspecified evaluation order *)
+  let b0 = byte c in
+  let b1 = byte c in
+  let b2 = byte c in
+  let b3 = byte c in
+  Int32.logor
+    (Int32.of_int (b0 lor (b1 lsl 8) lor (b2 lsl 16)))
+    (Int32.shift_left (Int32.of_int b3) 24)
+
+let i64 c =
+  let lo = i32 c and hi = i32 c in
+  Int64.logor
+    (Int64.logand (Int64.of_int32 lo) 0xFFFFFFFFL)
+    (Int64.shift_left (Int64.of_int32 hi) 32)
+
+let mem c =
+  let b = byte c in
+  let base = if b = 0x10 then None else Some (Reg.of_index b) in
+  let ix = byte c in
+  let index =
+    if ix = 0xFF then None
+    else Some (Reg.of_index (ix lsr 2), 1 lsl (ix land 3))
+  in
+  let disp = Int64.of_int32 (i32 c) in
+  { base; index; disp }
+
+let reg_pair c =
+  let b = byte c in
+  (Reg.of_index (b lsr 4), Reg.of_index (b land 0xF))
+
+let decode text ~pc ~base =
+  let start = Int64.to_int (Int64.sub pc base) in
+  if start < 0 || start >= String.length text then
+    raise (Bad_encoding (pc, "pc outside text section"));
+  let c = { text; pos = start; pc } in
+  let target_of_rel rel =
+    Int64.add (Int64.add pc (Int64.of_int (c.pos - start)))
+      (Int64.of_int32 rel)
+    (* note: rel is read before this computes, so pos is past the insn *)
+  in
+  let insn =
+    match byte c with
+    | 0x01 ->
+        let r = Reg.of_index (byte c) in
+        Mov_ri (r, i64 c)
+    | 0x02 ->
+        let a, b = reg_pair c in
+        Mov_rr (a, b)
+    | 0x06 ->
+        let r = Reg.of_index (byte c) in
+        Lea (r, mem c)
+    | 0x07 -> Inc (Reg.of_index (byte c))
+    | 0x08 -> Dec (Reg.of_index (byte c))
+    | 0x09 -> Neg (Reg.of_index (byte c))
+    | 0x0A -> Not (Reg.of_index (byte c))
+    | op when op >= 0xA0 && op < 0xAA ->
+        let a, b = reg_pair c in
+        Cmov (cc_of_index (op - 0xA0), a, b)
+    | 0x42 ->
+        let a, b = reg_pair c in
+        Test (a, R b)
+    | 0x43 ->
+        let r = Reg.of_index (byte c) in
+        Test (r, I (Int64.of_int32 (i32 c)))
+    | 0x03 ->
+        let r = Reg.of_index (byte c) in
+        Load (r, mem c)
+    | 0x04 ->
+        let m = mem c in
+        Store (m, R (Reg.of_index (byte c)))
+    | 0x05 ->
+        let m = mem c in
+        Store (m, I (Int64.of_int32 (i32 c)))
+    | op when op >= 0x10 && op < 0x18 ->
+        let a, b = reg_pair c in
+        Alu (alu_of_index (op - 0x10), a, R b)
+    | op when op >= 0x18 && op < 0x20 ->
+        let r = Reg.of_index (byte c) in
+        Alu (alu_of_index (op - 0x18), r, I (Int64.of_int32 (i32 c)))
+    | op when op >= 0x30 && op < 0x35 ->
+        let a, b = reg_pair c in
+        Fp (fp_of_index (op - 0x30), a, b)
+    | 0x40 ->
+        let a, b = reg_pair c in
+        Cmp (a, R b)
+    | 0x41 ->
+        let r = Reg.of_index (byte c) in
+        Cmp (r, I (Int64.of_int32 (i32 c)))
+    | 0x50 ->
+        let rel = i32 c in
+        Jmp (target_of_rel rel)
+    | op when op >= 0x51 && op < 0x5B ->
+        let rel = i32 c in
+        Jcc (cc_of_index (op - 0x51), target_of_rel rel)
+    | 0x60 ->
+        let rel = i32 c in
+        Call (target_of_rel rel)
+    | 0x61 -> Ret
+    | 0x62 -> Push (Reg.of_index (byte c))
+    | 0x63 -> Pop (Reg.of_index (byte c))
+    | 0x70 ->
+        let m = mem c in
+        Lock_cmpxchg (m, Reg.of_index (byte c))
+    | 0x71 ->
+        let m = mem c in
+        Lock_xadd (m, Reg.of_index (byte c))
+    | 0x72 ->
+        let m = mem c in
+        Xchg (m, Reg.of_index (byte c))
+    | 0x80 -> Mfence
+    | 0x90 -> Nop
+    | 0x91 -> Syscall
+    | 0x92 -> Hlt
+    | op -> raise (Bad_encoding (pc, Printf.sprintf "unknown opcode 0x%02x" op))
+  in
+  (insn, c.pos - start)

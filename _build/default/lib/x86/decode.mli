@@ -1,0 +1,9 @@
+(** Decoder for the x86 subset encoding — the DBT frontend's first
+    stage.  Inverse of {!Encode}. *)
+
+exception Bad_encoding of int64 * string
+
+(** [decode text ~pc ~base] decodes the instruction at guest address
+    [pc]; [base] is the guest address of [text]'s first byte.  Returns
+    the instruction and its encoded length. *)
+val decode : string -> pc:int64 -> base:int64 -> Insn.t * int

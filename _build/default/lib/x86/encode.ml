@@ -1,0 +1,185 @@
+open Insn
+
+let alu_index = function
+  | Add -> 0
+  | Sub -> 1
+  | And -> 2
+  | Or -> 3
+  | Xor -> 4
+  | Shl -> 5
+  | Shr -> 6
+  | Imul -> 7
+
+let fp_index = function Fadd -> 0 | Fsub -> 1 | Fmul -> 2 | Fdiv -> 3 | Fsqrt -> 4
+
+let cc_index = function
+  | E -> 0
+  | Ne -> 1
+  | L -> 2
+  | Le -> 3
+  | G -> 4
+  | Ge -> 5
+  | B -> 6
+  | Be -> 7
+  | A -> 8
+  | Ae -> 9
+
+let mem_len = 6 (* base byte + index/scale byte + disp32 *)
+
+let length = function
+  | Mov_ri _ -> 1 + 1 + 8
+  | Mov_rr _ | Cmov _ -> 1 + 1
+  | Lea _ -> 1 + 1 + mem_len
+  | Inc _ | Dec _ | Neg _ | Not _ -> 1 + 1
+  | Test (_, R _) -> 1 + 1
+  | Test (_, I _) -> 1 + 1 + 4
+  | Load _ -> 1 + 1 + mem_len
+  | Store (_, R _) -> 1 + mem_len + 1
+  | Store (_, I _) -> 1 + mem_len + 4
+  | Alu (_, _, R _) -> 1 + 1
+  | Alu (_, _, I _) -> 1 + 1 + 4
+  | Fp _ -> 1 + 1
+  | Cmp (_, R _) -> 1 + 1
+  | Cmp (_, I _) -> 1 + 1 + 4
+  | Jmp _ -> 1 + 4
+  | Jcc _ -> 1 + 4
+  | Call _ -> 1 + 4
+  | Ret -> 1
+  | Push _ | Pop _ -> 1 + 1
+  | Lock_cmpxchg _ | Lock_xadd _ | Xchg _ -> 1 + mem_len + 1
+  | Mfence | Nop | Syscall | Hlt -> 1
+
+let put_byte b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_i32 b (v : int32) =
+  for i = 0 to 3 do
+    put_byte b (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xFF)
+  done
+
+let put_i64 b (v : int64) =
+  for i = 0 to 7 do
+    put_byte b (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+  done
+
+let scale_bits = function
+  | 1 -> 0
+  | 2 -> 1
+  | 4 -> 2
+  | 8 -> 3
+  | s -> invalid_arg (Printf.sprintf "Encode: bad scale %d" s)
+
+let put_mem b (m : mem) =
+  (match m.base with
+  | Some r -> put_byte b (Reg.index r)
+  | None -> put_byte b 0x10);
+  (match m.index with
+  | Some (r, scale) -> put_byte b ((Reg.index r lsl 2) lor scale_bits scale)
+  | None -> put_byte b 0xFF);
+  put_i32 b (Int64.to_int32 m.disp)
+
+let put_rel32 b ~pc ~len target =
+  let rel = Int64.sub target (Int64.add pc (Int64.of_int len)) in
+  put_i32 b (Int64.to_int32 rel)
+
+let emit b ~pc i =
+  let len = length i in
+  match i with
+  | Mov_ri (r, imm) ->
+      put_byte b 0x01;
+      put_byte b (Reg.index r);
+      put_i64 b imm
+  | Mov_rr (a, c) ->
+      put_byte b 0x02;
+      put_byte b ((Reg.index a lsl 4) lor Reg.index c)
+  | Lea (r, m) ->
+      put_byte b 0x06;
+      put_byte b (Reg.index r);
+      put_mem b m
+  | Inc r ->
+      put_byte b 0x07;
+      put_byte b (Reg.index r)
+  | Dec r ->
+      put_byte b 0x08;
+      put_byte b (Reg.index r)
+  | Neg r ->
+      put_byte b 0x09;
+      put_byte b (Reg.index r)
+  | Not r ->
+      put_byte b 0x0A;
+      put_byte b (Reg.index r)
+  | Cmov (cc, a, c) ->
+      put_byte b (0xA0 + cc_index cc);
+      put_byte b ((Reg.index a lsl 4) lor Reg.index c)
+  | Test (r, R r2) ->
+      put_byte b 0x42;
+      put_byte b ((Reg.index r lsl 4) lor Reg.index r2)
+  | Test (r, I imm) ->
+      put_byte b 0x43;
+      put_byte b (Reg.index r);
+      put_i32 b (Int64.to_int32 imm)
+  | Load (r, m) ->
+      put_byte b 0x03;
+      put_byte b (Reg.index r);
+      put_mem b m
+  | Store (m, R r) ->
+      put_byte b 0x04;
+      put_mem b m;
+      put_byte b (Reg.index r)
+  | Store (m, I imm) ->
+      put_byte b 0x05;
+      put_mem b m;
+      put_i32 b (Int64.to_int32 imm)
+  | Alu (op, r, R r2) ->
+      put_byte b (0x10 + alu_index op);
+      put_byte b ((Reg.index r lsl 4) lor Reg.index r2)
+  | Alu (op, r, I imm) ->
+      put_byte b (0x18 + alu_index op);
+      put_byte b (Reg.index r);
+      put_i32 b (Int64.to_int32 imm)
+  | Fp (op, a, c) ->
+      put_byte b (0x30 + fp_index op);
+      put_byte b ((Reg.index a lsl 4) lor Reg.index c)
+  | Cmp (r, R r2) ->
+      put_byte b 0x40;
+      put_byte b ((Reg.index r lsl 4) lor Reg.index r2)
+  | Cmp (r, I imm) ->
+      put_byte b 0x41;
+      put_byte b (Reg.index r);
+      put_i32 b (Int64.to_int32 imm)
+  | Jmp target ->
+      put_byte b 0x50;
+      put_rel32 b ~pc ~len target
+  | Jcc (cc, target) ->
+      put_byte b (0x51 + cc_index cc);
+      put_rel32 b ~pc ~len target
+  | Call target ->
+      put_byte b 0x60;
+      put_rel32 b ~pc ~len target
+  | Ret -> put_byte b 0x61
+  | Push r ->
+      put_byte b 0x62;
+      put_byte b (Reg.index r)
+  | Pop r ->
+      put_byte b 0x63;
+      put_byte b (Reg.index r)
+  | Lock_cmpxchg (m, r) ->
+      put_byte b 0x70;
+      put_mem b m;
+      put_byte b (Reg.index r)
+  | Lock_xadd (m, r) ->
+      put_byte b 0x71;
+      put_mem b m;
+      put_byte b (Reg.index r)
+  | Xchg (m, r) ->
+      put_byte b 0x72;
+      put_mem b m;
+      put_byte b (Reg.index r)
+  | Mfence -> put_byte b 0x80
+  | Nop -> put_byte b 0x90
+  | Syscall -> put_byte b 0x91
+  | Hlt -> put_byte b 0x92
+
+let encode ~pc i =
+  let b = Buffer.create 16 in
+  emit b ~pc i;
+  Buffer.contents b

@@ -1,0 +1,16 @@
+(** Byte-level encoding of the x86 subset.
+
+    A compact fixed-layout encoding: one opcode byte, register nibbles,
+    little-endian immediates, and — as on real x86 — branch targets
+    stored as rel32 displacements from the end of the instruction.
+    {!Decode} is the exact inverse (round-trip tested). *)
+
+(** [length i] is the encoded size in bytes. *)
+val length : Insn.t -> int
+
+(** [encode ~pc i] encodes [i] assuming it is placed at guest address
+    [pc] (needed for rel32 branch operands). *)
+val encode : pc:int64 -> Insn.t -> string
+
+(** Append to a buffer. *)
+val emit : Buffer.t -> pc:int64 -> Insn.t -> unit

@@ -1,0 +1,163 @@
+type state = {
+  regs : int64 array;
+  mutable rip : int64;
+  mutable cmp : int64 * int64;
+  mem : Memsys.Mem.t;
+  mutable halted : bool;
+  mutable exit_code : int64;
+  mutable steps : int;
+  output : Buffer.t;
+  code : string;
+  base : int64;
+}
+
+let create ?mem ~code ~base ~entry () =
+  let mem = match mem with Some m -> m | None -> Memsys.Mem.create () in
+  {
+    regs = Array.make 16 0L;
+    rip = entry;
+    cmp = (0L, 0L);
+    mem;
+    halted = false;
+    exit_code = 0L;
+    steps = 0;
+    output = Buffer.create 64;
+    code;
+    base;
+  }
+
+let get s r = s.regs.(Reg.index r)
+let set s r v = s.regs.(Reg.index r) <- v
+let src s = function Insn.R r -> get s r | Insn.I i -> i
+
+let ea s (m : Insn.mem) =
+  let base = match m.base with Some b -> get s b | None -> 0L in
+  let index =
+    match m.index with
+    | Some (r, scale) -> Int64.mul (get s r) (Int64.of_int scale)
+    | None -> 0L
+  in
+  Int64.add (Int64.add base index) m.disp
+
+let eval_cc (cc : Insn.cc) (a, b) =
+  match cc with
+  | Insn.E -> Int64.equal a b
+  | Insn.Ne -> not (Int64.equal a b)
+  | Insn.L -> Int64.compare a b < 0
+  | Insn.Le -> Int64.compare a b <= 0
+  | Insn.G -> Int64.compare a b > 0
+  | Insn.Ge -> Int64.compare a b >= 0
+  | Insn.B -> Int64.unsigned_compare a b < 0
+  | Insn.Be -> Int64.unsigned_compare a b <= 0
+  | Insn.A -> Int64.unsigned_compare a b > 0
+  | Insn.Ae -> Int64.unsigned_compare a b >= 0
+
+let alu_eval (op : Insn.alu) a b =
+  match op with
+  | Insn.Add -> Int64.add a b
+  | Insn.Sub -> Int64.sub a b
+  | Insn.And -> Int64.logand a b
+  | Insn.Or -> Int64.logor a b
+  | Insn.Xor -> Int64.logxor a b
+  | Insn.Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Insn.Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Insn.Imul -> Int64.mul a b
+
+let fp_eval (op : Insn.fpop) a b =
+  let fa = Int64.float_of_bits a and fb = Int64.float_of_bits b in
+  let r =
+    match op with
+    | Insn.Fadd -> fa +. fb
+    | Insn.Fsub -> fa -. fb
+    | Insn.Fmul -> fa *. fb
+    | Insn.Fdiv -> fa /. fb
+    | Insn.Fsqrt -> sqrt fb
+  in
+  Int64.bits_of_float r
+
+let push s v =
+  let rsp = Int64.sub (get s Reg.RSP) 8L in
+  set s Reg.RSP rsp;
+  Memsys.Mem.store s.mem rsp v
+
+let pop s =
+  let rsp = get s Reg.RSP in
+  let v = Memsys.Mem.load s.mem rsp in
+  set s Reg.RSP (Int64.add rsp 8L);
+  v
+
+let syscall s =
+  match get s Reg.RAX with
+  | 60L ->
+      (* exit *)
+      s.halted <- true;
+      s.exit_code <- get s Reg.RDI
+  | 1L ->
+      (* write(fd=rdi, buf=rsi, len=rdx) *)
+      let buf = get s Reg.RSI and len = Int64.to_int (get s Reg.RDX) in
+      for i = 0 to len - 1 do
+        Buffer.add_char s.output
+          (Char.chr (Memsys.Mem.load_byte s.mem (Int64.add buf (Int64.of_int i))))
+      done;
+      set s Reg.RAX (Int64.of_int len)
+  | _ -> set s Reg.RAX (-38L) (* -ENOSYS *)
+
+let step s =
+  let insn, len = Decode.decode s.code ~pc:s.rip ~base:s.base in
+  let next = Int64.add s.rip (Int64.of_int len) in
+  s.steps <- s.steps + 1;
+  let goto t = s.rip <- t in
+  s.rip <- next;
+  (match insn with
+  | Insn.Mov_ri (r, imm) -> set s r imm
+  | Insn.Mov_rr (a, b) -> set s a (get s b)
+  | Insn.Load (r, m) -> set s r (Memsys.Mem.load s.mem (ea s m))
+  | Insn.Store (m, v) -> Memsys.Mem.store s.mem (ea s m) (src s v)
+  | Insn.Alu (op, r, v) -> set s r (alu_eval op (get s r) (src s v))
+  | Insn.Lea (r, m) -> set s r (ea s m)
+  | Insn.Inc r -> set s r (Int64.add (get s r) 1L)
+  | Insn.Dec r -> set s r (Int64.sub (get s r) 1L)
+  | Insn.Neg r -> set s r (Int64.neg (get s r))
+  | Insn.Not r -> set s r (Int64.lognot (get s r))
+  | Insn.Cmov (cc, a, b) -> if eval_cc cc s.cmp then set s a (get s b)
+  | Insn.Fp (op, a, b) -> set s a (fp_eval op (get s a) (get s b))
+  | Insn.Cmp (r, v) -> s.cmp <- (get s r, src s v)
+  | Insn.Test (r, v) -> s.cmp <- (Int64.logand (get s r) (src s v), 0L)
+  | Insn.Jmp t -> goto t
+  | Insn.Jcc (cc, t) -> if eval_cc cc s.cmp then goto t
+  | Insn.Call t ->
+      push s next;
+      goto t
+  | Insn.Ret -> goto (pop s)
+  | Insn.Push r -> push s (get s r)
+  | Insn.Pop r -> set s r (pop s)
+  | Insn.Lock_cmpxchg (m, r) ->
+      (* Flags as from CMP rax, [m] — the comparison pair is (rax, old),
+         matching the DBT frontend's lazy-flag encoding. *)
+      let addr = ea s m in
+      let old = Memsys.Mem.load s.mem addr in
+      let rax = get s Reg.RAX in
+      s.cmp <- (rax, old);
+      if Int64.equal old rax then Memsys.Mem.store s.mem addr (get s r)
+      else set s Reg.RAX old
+  | Insn.Lock_xadd (m, r) ->
+      let addr = ea s m in
+      let old = Memsys.Mem.load s.mem addr in
+      Memsys.Mem.store s.mem addr (Int64.add old (get s r));
+      set s r old
+  | Insn.Xchg (m, r) ->
+      let addr = ea s m in
+      let old = Memsys.Mem.load s.mem addr in
+      Memsys.Mem.store s.mem addr (get s r);
+      set s r old
+  | Insn.Mfence | Insn.Nop -> ()
+  | Insn.Syscall -> syscall s
+  | Insn.Hlt -> s.halted <- true);
+  ()
+
+let run ?(max_steps = 10_000_000) s =
+  let start = s.steps in
+  while (not s.halted) && s.steps - start < max_steps do
+    step s
+  done;
+  s.steps - start

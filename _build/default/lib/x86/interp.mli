@@ -1,0 +1,36 @@
+(** Reference interpreter for the x86 subset.
+
+    Executes the encoded byte image directly (decode → execute), with
+    sequentially consistent memory semantics.  Serves as the functional
+    oracle for differential testing of the DBT pipeline: a translated
+    program must compute the same final registers/memory as this
+    interpreter on race-free inputs.
+
+    Conditional branches are evaluated from the most recent [Cmp] (or
+    flag-setting RMW), matching the discipline the DBT frontend relies
+    on. *)
+
+type state = {
+  regs : int64 array;  (** 16 GP registers, indexed by [Reg.index] *)
+  mutable rip : int64;
+  mutable cmp : int64 * int64;  (** operands of the last comparison *)
+  mem : Memsys.Mem.t;
+  mutable halted : bool;
+  mutable exit_code : int64;
+  mutable steps : int;
+  output : Buffer.t;  (** bytes written via the write syscall *)
+  code : string;
+  base : int64;
+}
+
+val create : ?mem:Memsys.Mem.t -> code:string -> base:int64 -> entry:int64 -> unit -> state
+
+(** Execute one instruction.  Raises [Decode.Bad_encoding] on bad pc. *)
+val step : state -> unit
+
+(** Run until halt or [max_steps]; returns the number of executed
+    instructions. *)
+val run : ?max_steps:int -> state -> int
+
+(** Evaluate a condition code against a comparison pair. *)
+val eval_cc : Insn.cc -> int64 * int64 -> bool

@@ -1,0 +1,334 @@
+exception Error of { line : int; msg : string }
+
+let err line fmt = Format.kasprintf (fun msg -> raise (Error { line; msg })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Line-level tokenizer: mnemonics, registers, numbers, punctuation.   *)
+
+type token =
+  | Word of string
+  | Num of int64
+  | Imm of int64
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Plus
+  | Minus
+  | Star
+  | Colon
+  | At
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '@' || c = '.'
+
+let tokenize line_no s =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let number i =
+    let rec go j =
+      if
+        j < n
+        && ((s.[j] >= '0' && s.[j] <= '9')
+           || (s.[j] >= 'a' && s.[j] <= 'f')
+           || (s.[j] >= 'A' && s.[j] <= 'F')
+           || s.[j] = 'x' || s.[j] = 'X')
+      then go (j + 1)
+      else j
+    in
+    let j = go i in
+    let text = String.sub s i (j - i) in
+    match Int64.of_string_opt text with
+    | Some v -> (v, j)
+    | None -> err line_no "bad number %S" text
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | ' ' | '\t' -> go (i + 1)
+      | '#' | ';' -> ()
+      | '[' -> push Lbracket; go (i + 1)
+      | ']' -> push Rbracket; go (i + 1)
+      | ',' -> push Comma; go (i + 1)
+      | '+' -> push Plus; go (i + 1)
+      | '*' -> push Star; go (i + 1)
+      | ':' -> push Colon; go (i + 1)
+      | '@' -> push At; go (i + 1)
+      | '$' ->
+          let neg = i + 1 < n && s.[i + 1] = '-' in
+          let v, j = number (if neg then i + 2 else i + 1) in
+          push (Imm (if neg then Int64.neg v else v));
+          go j
+      | '-' ->
+          if i + 1 < n && s.[i + 1] >= '0' && s.[i + 1] <= '9' then begin
+            let v, j = number (i + 1) in
+            push Minus;
+            push (Num v);
+            go j
+          end
+          else begin
+            push Minus;
+            go (i + 1)
+          end
+      | c when c >= '0' && c <= '9' ->
+          let v, j = number i in
+          push (Num v);
+          go j
+      | c when is_word_char c ->
+          let rec w j = if j < n && is_word_char s.[j] then w (j + 1) else j in
+          let j = w i in
+          push (Word (String.sub s i (j - i)));
+          go j
+      | c -> err line_no "unexpected character %C" c
+  in
+  go 0;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+
+let reg_of_name line = function
+  | "rax" -> Reg.RAX
+  | "rbx" -> Reg.RBX
+  | "rcx" -> Reg.RCX
+  | "rdx" -> Reg.RDX
+  | "rsi" -> Reg.RSI
+  | "rdi" -> Reg.RDI
+  | "rbp" -> Reg.RBP
+  | "rsp" -> Reg.RSP
+  | "r8" -> Reg.R8
+  | "r9" -> Reg.R9
+  | "r10" -> Reg.R10
+  | "r11" -> Reg.R11
+  | "r12" -> Reg.R12
+  | "r13" -> Reg.R13
+  | "r14" -> Reg.R14
+  | "r15" -> Reg.R15
+  | w -> err line "unknown register %S" w
+
+let cc_of_suffix line = function
+  | "e" -> Insn.E
+  | "ne" -> Insn.Ne
+  | "l" -> Insn.L
+  | "le" -> Insn.Le
+  | "g" -> Insn.G
+  | "ge" -> Insn.Ge
+  | "b" -> Insn.B
+  | "be" -> Insn.Be
+  | "a" -> Insn.A
+  | "ae" -> Insn.Ae
+  | s -> err line "unknown condition code %S" s
+
+type cursor = { mutable toks : token list; line : int }
+
+let next c =
+  match c.toks with
+  | t :: rest ->
+      c.toks <- rest;
+      t
+  | [] -> err c.line "unexpected end of line"
+
+let peek c = match c.toks with t :: _ -> Some t | [] -> None
+
+let expect_comma c =
+  match next c with
+  | Comma -> ()
+  | _ -> err c.line "expected ','"
+
+let reg c =
+  match next c with
+  | Word w -> reg_of_name c.line w
+  | _ -> err c.line "expected a register"
+
+(* [base + index*scale + disp] in any sensible order, each part
+   optional. *)
+let mem c =
+  (match next c with Lbracket -> () | _ -> err c.line "expected '['");
+  let base = ref None
+  and index = ref None
+  and disp = ref 0L
+  and sign = ref 1L in
+  let add_term () =
+    match next c with
+    | Num v ->
+        disp := Int64.add !disp (Int64.mul !sign v);
+        sign := 1L
+    | Word w -> (
+        let r = reg_of_name c.line w in
+        match peek c with
+        | Some Star ->
+            ignore (next c);
+            let scale =
+              match next c with
+              | Num v -> Int64.to_int v
+              | _ -> err c.line "expected a scale"
+            in
+            if !index <> None then err c.line "two index registers";
+            index := Some (r, scale)
+        | _ ->
+            if !base = None then base := Some r
+            else if !index = None then index := Some (r, 1)
+            else err c.line "too many registers in address")
+    | _ -> err c.line "bad address component"
+  in
+  add_term ();
+  let rec more () =
+    match next c with
+    | Rbracket -> ()
+    | Plus ->
+        add_term ();
+        more ()
+    | Minus ->
+        sign := -1L;
+        add_term ();
+        more ()
+    | _ -> err c.line "expected '+', '-' or ']'"
+  in
+  more ();
+  { Insn.base = !base; index = !index; disp = !disp }
+
+let src c =
+  match next c with
+  | Imm v -> Insn.I v
+  | Word w -> Insn.R (reg_of_name c.line w)
+  | _ -> err c.line "expected a register or $immediate"
+
+let alu_of_name = function
+  | "add" -> Some Insn.Add
+  | "sub" -> Some Insn.Sub
+  | "and" -> Some Insn.And
+  | "or" -> Some Insn.Or
+  | "xor" -> Some Insn.Xor
+  | "shl" -> Some Insn.Shl
+  | "shr" -> Some Insn.Shr
+  | "imul" -> Some Insn.Imul
+  | _ -> None
+
+let fp_of_name = function
+  | "addsd" -> Some Insn.Fadd
+  | "subsd" -> Some Insn.Fsub
+  | "mulsd" -> Some Insn.Fmul
+  | "divsd" -> Some Insn.Fdiv
+  | "sqrtsd" -> Some Insn.Fsqrt
+  | _ -> None
+
+let label c =
+  match next c with
+  | Word w -> w
+  | _ -> err c.line "expected a label"
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let item_of_line line toks =
+  let c = { toks; line } in
+  let finish item =
+    match peek c with
+    | None -> item
+    | Some _ -> err line "trailing tokens"
+  in
+  match next c with
+  | Word w when peek c = Some Colon ->
+      ignore (next c);
+      finish (Asm.Label w)
+  | Word "mov" -> (
+      match next c with
+      | Lbracket ->
+          c.toks <- Lbracket :: c.toks;
+          let m = mem c in
+          expect_comma c;
+          (match next c with
+          | Imm v -> finish (Asm.Ins (Insn.Store (m, Insn.I v)))
+          | Word w -> finish (Asm.Ins (Insn.Store (m, Insn.R (reg_of_name line w))))
+          | _ -> err line "expected a store source")
+      | Word w -> (
+          let r = reg_of_name line w in
+          expect_comma c;
+          match next c with
+          | Imm v -> finish (Asm.Ins (Insn.Mov_ri (r, v)))
+          | Word w2 -> finish (Asm.Ins (Insn.Mov_rr (r, reg_of_name line w2)))
+          | At -> finish (Asm.Mov_lbl (r, label c))
+          | Lbracket ->
+              c.toks <- Lbracket :: c.toks;
+              finish (Asm.Ins (Insn.Load (r, mem c)))
+          | _ -> err line "bad mov operands")
+      | _ -> err line "bad mov operands")
+  | Word "lea" ->
+      let r = reg c in
+      expect_comma c;
+      finish (Asm.Ins (Insn.Lea (r, mem c)))
+  | Word "inc" -> finish (Asm.Ins (Insn.Inc (reg c)))
+  | Word "dec" -> finish (Asm.Ins (Insn.Dec (reg c)))
+  | Word "neg" -> finish (Asm.Ins (Insn.Neg (reg c)))
+  | Word "not" -> finish (Asm.Ins (Insn.Not (reg c)))
+  | Word "cmp" ->
+      let r = reg c in
+      expect_comma c;
+      finish (Asm.Ins (Insn.Cmp (r, src c)))
+  | Word "test" ->
+      let r = reg c in
+      expect_comma c;
+      finish (Asm.Ins (Insn.Test (r, src c)))
+  | Word "jmp" -> finish (Asm.Jmp_lbl (label c))
+  | Word "call" -> finish (Asm.Call_lbl (label c))
+  | Word "ret" -> finish (Asm.Ins Insn.Ret)
+  | Word "push" -> finish (Asm.Ins (Insn.Push (reg c)))
+  | Word "pop" -> finish (Asm.Ins (Insn.Pop (reg c)))
+  | Word "mfence" -> finish (Asm.Ins Insn.Mfence)
+  | Word "nop" -> finish (Asm.Ins Insn.Nop)
+  | Word "syscall" -> finish (Asm.Ins Insn.Syscall)
+  | Word "hlt" -> finish (Asm.Ins Insn.Hlt)
+  | Word "lock" -> (
+      match next c with
+      | Word "cmpxchg" ->
+          let m = mem c in
+          expect_comma c;
+          finish (Asm.Ins (Insn.Lock_cmpxchg (m, reg c)))
+      | Word "xadd" ->
+          let m = mem c in
+          expect_comma c;
+          finish (Asm.Ins (Insn.Lock_xadd (m, reg c)))
+      | _ -> err line "expected cmpxchg or xadd after lock")
+  | Word "xchg" ->
+      let m = mem c in
+      expect_comma c;
+      finish (Asm.Ins (Insn.Xchg (m, reg c)))
+  | Word w when alu_of_name w <> None ->
+      let op = Option.get (alu_of_name w) in
+      let r = reg c in
+      expect_comma c;
+      finish (Asm.Ins (Insn.Alu (op, r, src c)))
+  | Word w when fp_of_name w <> None ->
+      let op = Option.get (fp_of_name w) in
+      let a = reg c in
+      expect_comma c;
+      finish (Asm.Ins (Insn.Fp (op, a, reg c)))
+  | Word w when starts_with ~prefix:"cmov" w ->
+      let cc = cc_of_suffix line (String.sub w 4 (String.length w - 4)) in
+      let a = reg c in
+      expect_comma c;
+      finish (Asm.Ins (Insn.Cmov (cc, a, reg c)))
+  | Word w when String.length w > 1 && w.[0] = 'j' ->
+      let cc = cc_of_suffix line (String.sub w 1 (String.length w - 1)) in
+      finish (Asm.Jcc_lbl (cc, label c))
+  | Word w -> err line "unknown mnemonic %S" w
+  | _ -> err line "expected a mnemonic or label"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun i l ->
+         match tokenize (i + 1) l with
+         | [] -> []
+         | toks -> [ item_of_line (i + 1) toks ])
+       lines)
+
+let parse_insn text =
+  match parse text with
+  | [ Asm.Ins i ] -> i
+  | _ -> err 1 "expected exactly one instruction"

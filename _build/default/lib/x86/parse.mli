@@ -1,0 +1,28 @@
+(** Text assembler for the x86 subset.
+
+    Accepts the syntax {!Insn.pp} prints, with labels for code positions
+    and branch targets:
+
+    {v
+    main:
+      mov rax, $0
+      mov rbx, $10
+    loop:
+      add rax, rbx
+      dec rbx
+      test rbx, rbx
+      jne loop
+      mov [0x5000], rax
+      hlt
+    v}
+
+    Memory operands: [[0x1000]], [[rbx+8]], [[rbx-8]], [[rbx+rcx*4+16]].
+    Immediates: [$42], [$-3], [$0xff].  [#] and [;] start comments.
+    Branch/call targets and [mov r, @label] operands are labels. *)
+
+exception Error of { line : int; msg : string }
+
+val parse : string -> Asm.item list
+
+(** Parse a single instruction (no labels). *)
+val parse_insn : string -> Insn.t

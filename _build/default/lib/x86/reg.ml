@@ -1,0 +1,63 @@
+type t =
+  | RAX
+  | RBX
+  | RCX
+  | RDX
+  | RSI
+  | RDI
+  | RBP
+  | RSP
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+let all =
+  [ RAX; RBX; RCX; RDX; RSI; RDI; RBP; RSP; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let index = function
+  | RAX -> 0
+  | RBX -> 1
+  | RCX -> 2
+  | RDX -> 3
+  | RSI -> 4
+  | RDI -> 5
+  | RBP -> 6
+  | RSP -> 7
+  | R8 -> 8
+  | R9 -> 9
+  | R10 -> 10
+  | R11 -> 11
+  | R12 -> 12
+  | R13 -> 13
+  | R14 -> 14
+  | R15 -> 15
+
+let of_index i =
+  match List.nth_opt all i with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Reg.of_index: %d" i)
+
+let name = function
+  | RAX -> "rax"
+  | RBX -> "rbx"
+  | RCX -> "rcx"
+  | RDX -> "rdx"
+  | RSI -> "rsi"
+  | RDI -> "rdi"
+  | RBP -> "rbp"
+  | RSP -> "rsp"
+  | R8 -> "r8"
+  | R9 -> "r9"
+  | R10 -> "r10"
+  | R11 -> "r11"
+  | R12 -> "r12"
+  | R13 -> "r13"
+  | R14 -> "r14"
+  | R15 -> "r15"
+
+let pp ppf r = Fmt.string ppf (name r)

@@ -1,0 +1,1 @@
+test/test_arm.ml: Alcotest Arm Array Int64 List Memsys QCheck QCheck_alcotest

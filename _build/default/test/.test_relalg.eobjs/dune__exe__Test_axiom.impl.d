@@ -1,0 +1,1 @@
+test/test_axiom.ml: Alcotest Axiom Iset List Rel Relalg Result

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Arm Array Axiom Buffer Core Filename Fmt Harness Image Int64 Linker List Memsys QCheck QCheck_alcotest String Sys Tcg X86

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Arm Core Harness Int64 List Memsys

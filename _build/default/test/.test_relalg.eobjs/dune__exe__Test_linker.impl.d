@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Char Filename Harness Image Int64 Linker List Memsys Sys X86

@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Ast Axiom Catalog Dsl Enumerate Fmt Gen List Litmus Parser QCheck QCheck_alcotest Result Sys Tso_machine

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Axiom List Litmus Mapping QCheck QCheck_alcotest

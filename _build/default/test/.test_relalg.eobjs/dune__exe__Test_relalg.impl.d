@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Iset List QCheck QCheck_alcotest Rel Relalg

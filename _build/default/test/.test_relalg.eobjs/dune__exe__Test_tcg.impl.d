@@ -1,0 +1,1 @@
+test/test_tcg.ml: Alcotest Array Axiom Int64 List Memsys QCheck QCheck_alcotest Tcg

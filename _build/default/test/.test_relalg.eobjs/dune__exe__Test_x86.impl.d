@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Array Buffer Fmt Int64 List Memsys Printf QCheck QCheck_alcotest String X86

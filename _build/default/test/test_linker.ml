@@ -1,0 +1,216 @@
+(* The dynamic host linker substrate: IDL parsing, the host library,
+   and PLT resolution. *)
+
+module Idl = Linker.Idl
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let check_str = Alcotest.check Alcotest.string
+
+let sig_t =
+  Alcotest.testable Idl.pp_signature (fun a b -> a = b)
+
+(* ------------------------------------------------------------------ *)
+(* IDL                                                                 *)
+
+let test_parse_simple () =
+  Alcotest.check sig_t "f64 unary"
+    { Idl.name = "sin"; ret = Idl.F64; args = [ Idl.F64 ] }
+    (Idl.parse_signature "f64 sin(f64);");
+  Alcotest.check sig_t "named args"
+    { Idl.name = "md5"; ret = Idl.I64; args = [ Idl.Ptr; Idl.I64 ] }
+    (Idl.parse_signature "i64 md5(ptr buf, i64 len);");
+  Alcotest.check sig_t "no args"
+    { Idl.name = "rand"; ret = Idl.I64; args = [] }
+    (Idl.parse_signature "i64 rand()");
+  Alcotest.check sig_t "void args"
+    { Idl.name = "rand"; ret = Idl.I64; args = [] }
+    (Idl.parse_signature "i64 rand(void)");
+  Alcotest.check sig_t "void return"
+    { Idl.name = "free"; ret = Idl.Void; args = [ Idl.Ptr ] }
+    (Idl.parse_signature "void free(ptr)")
+
+let test_parse_file () =
+  let text =
+    "# math functions\n\
+     f64 sin(f64);\n\
+     \n\
+     i64 strlen(ptr s); # libc\n"
+  in
+  let sigs = Idl.parse text in
+  check_int "two signatures" 2 (List.length sigs);
+  check_str "first" "sin" (List.nth sigs 0).Idl.name;
+  check_str "second" "strlen" (List.nth sigs 1).Idl.name
+
+let test_parse_errors () =
+  let fails s =
+    match Idl.parse_signature s with
+    | exception Idl.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "bad type" true (fails "f32 sin(f64);");
+  check_bool "void arg" true (fails "i64 f(void, i64);");
+  check_bool "garbage" true (fails "!!");
+  check_bool "no parens" true (fails "i64 f;")
+
+let test_roundtrip () =
+  let sigs = Idl.parse Linker.Hostlib.idl_text in
+  let reparsed = Idl.parse (Idl.to_string sigs) in
+  check_bool "print/parse round trip" true (sigs = reparsed);
+  check_int "covers every host function" (List.length Linker.Hostlib.names)
+    (List.length sigs)
+
+(* ------------------------------------------------------------------ *)
+(* Hostlib                                                             *)
+
+let test_hostlib_math () =
+  let mem = Memsys.Mem.create () in
+  let call name x =
+    match Linker.Hostlib.find name with
+    | Some fn ->
+        Linker.Hostlib.to_f
+          (fn.Linker.Hostlib.call mem [ Linker.Hostlib.of_f x ])
+    | None -> Alcotest.failf "missing %s" name
+  in
+  Alcotest.(check (float 1e-12)) "sin" (sin 0.5) (call "sin" 0.5);
+  Alcotest.(check (float 1e-12)) "sqrt" 3.0 (call "sqrt" 9.0);
+  Alcotest.(check (float 1e-12)) "exp" (exp 1.0) (call "exp" 1.0)
+
+let test_hostlib_digest_deterministic () =
+  let mem = Memsys.Mem.create () in
+  Memsys.Mem.store mem 0x100L 0xdeadbeefL;
+  let digest () =
+    match Linker.Hostlib.find "sha256" with
+    | Some fn -> fn.Linker.Hostlib.call mem [ 0x100L; 8L ]
+    | None -> assert false
+  in
+  let d1 = digest () in
+  check_bool "nonzero" true (d1 <> 0L);
+  check_bool "deterministic" true (Int64.equal d1 (digest ()));
+  Memsys.Mem.store mem 0x100L 0xdeadbeeeL;
+  check_bool "input-sensitive" true (not (Int64.equal d1 (digest ())))
+
+let test_hostlib_costs_monotone () =
+  let cost name args =
+    match Linker.Hostlib.find name with
+    | Some fn -> fn.Linker.Hostlib.cycles args
+    | None -> assert false
+  in
+  check_bool "sha256 cost grows with length" true
+    (cost "sha256" [ 0L; 8192L ] > cost "sha256" [ 0L; 1024L ]);
+  check_bool "sign costlier than verify" true
+    (cost "rsa1024_sign" [ 0L ] > cost "rsa1024_verify" [ 0L ]);
+  check_bool "2048 costlier than 1024" true
+    (cost "rsa2048_sign" [ 0L ] > cost "rsa1024_sign" [ 0L ])
+
+let test_hostlib_strlen_memcpy () =
+  let mem = Memsys.Mem.create () in
+  (* "hey" *)
+  Memsys.Mem.store_byte mem 0x200L (Char.code 'h');
+  Memsys.Mem.store_byte mem 0x201L (Char.code 'e');
+  Memsys.Mem.store_byte mem 0x202L (Char.code 'y');
+  (match Linker.Hostlib.find "strlen" with
+  | Some fn ->
+      Alcotest.check Alcotest.int64 "strlen" 3L
+        (fn.Linker.Hostlib.call mem [ 0x200L ])
+  | None -> assert false);
+  match Linker.Hostlib.find "memcpy" with
+  | Some fn ->
+      ignore (fn.Linker.Hostlib.call mem [ 0x300L; 0x200L; 8L ]);
+      Alcotest.check Alcotest.int "copied" (Char.code 'h')
+        (Memsys.Mem.load_byte mem 0x300L)
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Link resolution                                                     *)
+
+let image_with_imports names =
+  Image.Gelf.build ~entry:"main"
+    ~imports:(List.map Harness.Guest_libs.import names)
+    [ X86.Asm.Label "main"; X86.Asm.Ins X86.Insn.Hlt ]
+
+let test_resolve () =
+  let image = image_with_imports [ "sin"; "md5" ] in
+  let links = Linker.Link.resolve image (Idl.parse Linker.Hostlib.idl_text) in
+  check_int "two entries" 2 (List.length (Linker.Link.entries links));
+  check_bool "no unresolved" true (Linker.Link.unresolved links = []);
+  let plt = List.assoc "sin" image.Image.Gelf.plt in
+  (match Linker.Link.lookup links plt with
+  | Some e -> check_str "lookup by plt addr" "sin" e.Linker.Link.name
+  | None -> Alcotest.fail "sin not found at its PLT address");
+  check_bool "miss on other addresses" true
+    (Linker.Link.lookup links 0xdeadL = None)
+
+let test_resolve_partial_idl () =
+  let image = image_with_imports [ "sin"; "md5" ] in
+  let links = Linker.Link.resolve image (Idl.parse "f64 sin(f64);") in
+  check_int "one resolved" 1 (List.length (Linker.Link.entries links));
+  Alcotest.(check (list string)) "md5 unresolved" [ "md5" ]
+    (Linker.Link.unresolved links)
+
+let test_image_plt_layout () =
+  let image = image_with_imports [ "sin" ] in
+  check_bool "plt address known" true
+    (List.mem_assoc "sin" image.Image.Gelf.plt);
+  let plt = List.assoc "sin" image.Image.Gelf.plt in
+  Alcotest.(check (option string)) "plt_at" (Some "sin")
+    (Image.Gelf.plt_at image plt);
+  (* The PLT stub jumps to the guest implementation. *)
+  let insn, _ = X86.Decode.decode image.Image.Gelf.text ~pc:plt ~base:image.Image.Gelf.text_base in
+  match insn with
+  | X86.Insn.Jmp t ->
+      Alcotest.check Alcotest.int64 "stub targets guest impl"
+        (Image.Gelf.symbol image "sin@impl") t
+  | i -> Alcotest.failf "expected jmp in PLT stub, got %a" X86.Insn.pp i
+
+(* ------------------------------------------------------------------ *)
+(* Image files                                                         *)
+
+let test_gelf_save_load () =
+  let image = image_with_imports [ "sin"; "md5" ] in
+  let path = Filename.temp_file "gelf" ".img" in
+  Image.Gelf.save image path;
+  let image' = Image.Gelf.load path in
+  check_bool "round trip" true (image = image');
+  Sys.remove path
+
+let test_gelf_rejects_garbage () =
+  let path = Filename.temp_file "gelf" ".img" in
+  let oc = open_out path in
+  output_string oc "not an image";
+  close_out oc;
+  check_bool "bad magic rejected" true
+    (match Image.Gelf.load path with
+    | exception Image.Gelf.Bad_image _ -> true
+    | _ -> false);
+  Sys.remove path
+
+let () =
+  Alcotest.run "linker"
+    [
+      ( "idl",
+        [
+          Alcotest.test_case "simple prototypes" `Quick test_parse_simple;
+          Alcotest.test_case "files with comments" `Quick test_parse_file;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "round trip" `Quick test_roundtrip;
+        ] );
+      ( "hostlib",
+        [
+          Alcotest.test_case "math" `Quick test_hostlib_math;
+          Alcotest.test_case "digest" `Quick test_hostlib_digest_deterministic;
+          Alcotest.test_case "cost structure" `Quick test_hostlib_costs_monotone;
+          Alcotest.test_case "strlen/memcpy" `Quick test_hostlib_strlen_memcpy;
+        ] );
+      ( "resolution",
+        [
+          Alcotest.test_case "full" `Quick test_resolve;
+          Alcotest.test_case "partial IDL" `Quick test_resolve_partial_idl;
+          Alcotest.test_case "PLT layout" `Quick test_image_plt_layout;
+        ] );
+      ( "image files",
+        [
+          Alcotest.test_case "save/load" `Quick test_gelf_save_load;
+          Alcotest.test_case "rejects garbage" `Quick test_gelf_rejects_garbage;
+        ] );
+    ]

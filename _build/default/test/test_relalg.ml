@@ -1,0 +1,199 @@
+(* Unit and property tests for the relational algebra substrate. *)
+
+open Relalg
+
+let rel = Alcotest.testable Rel.pp Rel.equal
+let iset = Alcotest.testable Iset.pp Iset.equal
+
+let check_rel = Alcotest.check rel
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let r_of = Rel.of_list
+let s_of = Iset.of_list
+
+(* ------------------------------------------------------------------ *)
+
+let test_compose () =
+  check_rel "compose chains pairs"
+    (r_of [ (1, 3) ])
+    (Rel.compose (r_of [ (1, 2) ]) (r_of [ (2, 3) ]));
+  check_rel "compose fans out"
+    (r_of [ (1, 3); (1, 4) ])
+    (Rel.compose (r_of [ (1, 2) ]) (r_of [ (2, 3); (2, 4) ]));
+  check_rel "compose with empty is empty" Rel.empty
+    (Rel.compose (r_of [ (1, 2) ]) Rel.empty)
+
+let test_sequence () =
+  check_rel "three-step sequence"
+    (r_of [ (1, 4) ])
+    (Rel.sequence [ r_of [ (1, 2) ]; r_of [ (2, 3) ]; r_of [ (3, 4) ] ]);
+  Alcotest.check_raises "empty sequence rejected"
+    (Invalid_argument "Rel.sequence: empty list") (fun () ->
+      ignore (Rel.sequence []))
+
+let test_id_restrict () =
+  let a = s_of [ 1; 2 ] in
+  check_rel "id" (r_of [ (1, 1); (2, 2) ]) (Rel.id a);
+  check_rel "[A]; r; [B]"
+    (r_of [ (1, 5) ])
+    (Rel.restrict a (r_of [ (1, 5); (3, 5); (1, 9) ]) (s_of [ 5 ]));
+  check_rel "cross"
+    (r_of [ (1, 5); (1, 6); (2, 5); (2, 6) ])
+    (Rel.cross a (s_of [ 5; 6 ]))
+
+let test_closure () =
+  let chain = r_of [ (1, 2); (2, 3); (3, 4) ] in
+  check_rel "transitive closure of a chain"
+    (r_of [ (1, 2); (2, 3); (3, 4); (1, 3); (2, 4); (1, 4) ])
+    (Rel.transitive_closure chain);
+  check_bool "chain is acyclic" true (Rel.acyclic chain);
+  check_bool "cycle detected" false (Rel.acyclic (Rel.add 4 1 chain));
+  check_bool "self loop is cyclic" false (Rel.acyclic (r_of [ (1, 1) ]))
+
+let test_inverse_domain () =
+  let r = r_of [ (1, 2); (3, 2) ] in
+  check_rel "inverse" (r_of [ (2, 1); (2, 3) ]) (Rel.inverse r);
+  Alcotest.check iset "domain" (s_of [ 1; 3 ]) (Rel.domain r);
+  Alcotest.check iset "codomain" (s_of [ 2 ]) (Rel.codomain r);
+  Alcotest.check iset "succs" (s_of [ 2 ]) (Rel.succs r 1);
+  Alcotest.check iset "preds" (s_of [ 1; 3 ]) (Rel.preds r 2)
+
+let test_total_order () =
+  check_bool "1<2<3 is strict total" true
+    (Rel.is_strict_total_order_on (s_of [ 1; 2; 3 ])
+       (r_of [ (1, 2); (2, 3); (1, 3) ]));
+  check_bool "missing pair is not total" false
+    (Rel.is_strict_total_order_on (s_of [ 1; 2; 3 ]) (r_of [ (1, 2); (1, 3) ]))
+
+let test_linear_extensions () =
+  let s = s_of [ 1; 2; 3 ] in
+  check_int "unconstrained: 3! orders" 6
+    (List.length (Rel.linear_extensions s Rel.empty));
+  let exts = Rel.linear_extensions s (r_of [ (1, 2) ]) in
+  check_int "one constraint halves the orders" 3 (List.length exts);
+  List.iter
+    (fun ext -> check_bool "constraint respected" true (Rel.mem 1 2 ext))
+    exts;
+  check_int "cyclic constraints: none" 0
+    (List.length (Rel.linear_extensions s (r_of [ (1, 2); (2, 1) ])));
+  check_int "total order: unique" 1
+    (List.length (Rel.linear_extensions s (r_of [ (1, 2); (2, 3) ])))
+
+let test_immediate () =
+  let r = Rel.transitive_closure (r_of [ (1, 2); (2, 3) ]) in
+  check_rel "immediate removes skips" (r_of [ (1, 2); (2, 3) ]) (Rel.immediate r)
+
+let test_find_cycle () =
+  Alcotest.(check (option (list int))) "acyclic" None
+    (Rel.find_cycle (r_of [ (1, 2); (2, 3) ]));
+  (match Rel.find_cycle (r_of [ (1, 2); (2, 3); (3, 1) ]) with
+  | Some cycle ->
+      check_int "cycle length" 3 (List.length cycle);
+      (* consecutive elements (and last -> first) must be related *)
+      let r = r_of [ (1, 2); (2, 3); (3, 1) ] in
+      let rec edges = function
+        | a :: (b :: _ as rest) ->
+            check_bool "edge" true (Rel.mem a b r);
+            edges rest
+        | [ last ] -> check_bool "closing edge" true (Rel.mem last (List.hd cycle) r)
+        | [] -> ()
+      in
+      edges cycle
+  | None -> Alcotest.fail "cycle not found");
+  match Rel.find_cycle (r_of [ (5, 5) ]) with
+  | Some [ 5 ] -> ()
+  | _ -> Alcotest.fail "self-loop not found"
+
+let test_minus_id () =
+  check_rel "minus_id"
+    (r_of [ (1, 2) ])
+    (Rel.minus_id (r_of [ (1, 2); (3, 3) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let arb_rel =
+  let arb_pair = QCheck.(pair (int_range 0 6) (int_range 0 6)) in
+  QCheck.map
+    ~rev:(fun r -> Rel.to_list r)
+    (fun l -> Rel.of_list l)
+    (QCheck.small_list arb_pair)
+
+let prop_find_cycle_agrees_with_acyclic =
+  QCheck.Test.make ~name:"find_cycle agrees with acyclic" ~count:300 arb_rel
+    (fun r -> Rel.acyclic r = (Rel.find_cycle r = None))
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"closure idempotent" ~count:200 arb_rel (fun r ->
+      let c = Rel.transitive_closure r in
+      Rel.equal c (Rel.transitive_closure c))
+
+let prop_closure_contains =
+  QCheck.Test.make ~name:"closure contains relation" ~count:200 arb_rel
+    (fun r -> Rel.subset r (Rel.transitive_closure r))
+
+let prop_compose_assoc =
+  QCheck.Test.make ~name:"composition associative" ~count:100
+    QCheck.(triple arb_rel arb_rel arb_rel)
+    (fun (a, b, c) ->
+      Rel.equal
+        (Rel.compose a (Rel.compose b c))
+        (Rel.compose (Rel.compose a b) c))
+
+let prop_inverse_involution =
+  QCheck.Test.make ~name:"inverse is an involution" ~count:200 arb_rel
+    (fun r -> Rel.equal r (Rel.inverse (Rel.inverse r)))
+
+let prop_union_monotone_closure =
+  QCheck.Test.make ~name:"closure monotone in union" ~count:100
+    QCheck.(pair arb_rel arb_rel)
+    (fun (a, b) ->
+      Rel.subset (Rel.transitive_closure a)
+        (Rel.transitive_closure (Rel.union a b)))
+
+let prop_linear_extensions_are_orders =
+  QCheck.Test.make ~name:"linear extensions are total orders containing r"
+    ~count:50
+    QCheck.(
+      pair
+        (map Iset.of_list (small_list (int_range 0 4)))
+        arb_rel)
+    (fun (s, r) ->
+      let r = Rel.restrict s r s in
+      List.for_all
+        (fun ext ->
+          Rel.is_strict_total_order_on s ext
+          && Rel.subset (Rel.minus_id (Rel.transitive_closure r)) ext)
+        (Rel.linear_extensions s r))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_closure_idempotent;
+      prop_closure_contains;
+      prop_compose_assoc;
+      prop_inverse_involution;
+      prop_union_monotone_closure;
+      prop_linear_extensions_are_orders;
+      prop_find_cycle_agrees_with_acyclic;
+    ]
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "rel",
+        [
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "sequence" `Quick test_sequence;
+          Alcotest.test_case "id/restrict/cross" `Quick test_id_restrict;
+          Alcotest.test_case "closure/acyclic" `Quick test_closure;
+          Alcotest.test_case "inverse/domain" `Quick test_inverse_domain;
+          Alcotest.test_case "total order" `Quick test_total_order;
+          Alcotest.test_case "linear extensions" `Quick test_linear_extensions;
+          Alcotest.test_case "immediate" `Quick test_immediate;
+          Alcotest.test_case "minus_id" `Quick test_minus_id;
+          Alcotest.test_case "find_cycle" `Quick test_find_cycle;
+        ] );
+      ("properties", props);
+    ]

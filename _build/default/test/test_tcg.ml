@@ -1,0 +1,415 @@
+(* The TCG IR: interpreter, and each optimizer pass — unit tests plus a
+   differential property test (optimized blocks compute the same final
+   state). *)
+
+module Op = Tcg.Op
+module E = Axiom.Event
+
+let g0 = Op.guest_reg 0
+let g1 = Op.guest_reg 1
+let g2 = Op.guest_reg 2
+let g3 = Op.guest_reg 3
+let t0 = Op.first_local
+let t1 = Op.first_local + 1
+
+let block ops =
+  { Tcg.Block.guest_pc = 0x1000L; guest_len = 0; guest_insns = 0; ops }
+
+let exec ?helpers ops =
+  let mem = Memsys.Mem.create () in
+  let env = Tcg.Interp.create_env ?helpers mem in
+  let exit = Tcg.Interp.exec_block env (block ops) in
+  (env, exit, mem)
+
+let check_i64 = Alcotest.check Alcotest.int64
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+
+let test_interp_basics () =
+  let env, exit, _ =
+    exec
+      [
+        Op.Movi (g0, 6L);
+        Op.Binopi (Op.Mul, g0, g0, 7L);
+        Op.Setcond (Op.Eq, g1, g0, g0);
+        Op.Goto_tb 0x2000L;
+      ]
+  in
+  check_i64 "mul" 42L env.Tcg.Interp.temps.(g0);
+  check_i64 "setcond" 1L env.Tcg.Interp.temps.(g1);
+  check_bool "exit" true (exit = Tcg.Interp.Next_tb 0x2000L)
+
+let test_interp_memory_and_branch () =
+  let env, _, mem =
+    exec
+      [
+        Op.Movi (t0, 0x5000L);
+        Op.Movi (g0, 7L);
+        Op.St (g0, t0, 8L);
+        Op.Ld (g1, t0, 8L);
+        Op.Brcond (Op.Eq, g1, g0, 1);
+        Op.Movi (g2, 111L);
+        Op.Set_label 1;
+        Op.Movi (g3, 222L);
+        Op.Exit_halt;
+      ]
+  in
+  check_i64 "load back" 7L env.Tcg.Interp.temps.(g1);
+  check_i64 "branch taken skips" 0L env.Tcg.Interp.temps.(g2);
+  check_i64 "after label" 222L env.Tcg.Interp.temps.(g3);
+  check_i64 "memory" 7L (Memsys.Mem.load mem 0x5008L)
+
+let test_interp_cas_atomic () =
+  let env, _, mem =
+    exec
+      [
+        Op.Movi (t0, 0x5000L);
+        Op.Movi (g0, 0L);
+        Op.Movi (g1, 9L);
+        Op.Cas { old = g2; addr = t0; expect = g0; desired = g1 };
+        Op.Atomic { op = `Xadd; old = g3; addr = t0; src = g1 };
+        Op.Exit_halt;
+      ]
+  in
+  check_i64 "cas old" 0L env.Tcg.Interp.temps.(g2);
+  check_i64 "xadd old" 9L env.Tcg.Interp.temps.(g3);
+  check_i64 "memory" 18L (Memsys.Mem.load mem 0x5000L)
+
+let test_interp_fallthrough_fails () =
+  Alcotest.check_raises "fall-through detected"
+    (Failure "Tcg.Interp: block 0x1000 fell through") (fun () ->
+      ignore (exec [ Op.Movi (g0, 1L) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+
+let test_constfold () =
+  let ops =
+    Tcg.Constfold.run
+      [
+        Op.Movi (t0, 6L);
+        Op.Movi (t1, 7L);
+        Op.Binop (Op.Mul, g0, t0, t1);
+        Op.Goto_tb 0L;
+      ]
+  in
+  check_bool "folded to movi 42" true (List.mem (Op.Movi (g0, 42L)) ops)
+
+let test_constfold_false_dep () =
+  (* X = a * 0 ↝ X = 0 (§6.1) *)
+  let ops =
+    Tcg.Constfold.run [ Op.Binopi (Op.Mul, g0, g1, 0L); Op.Goto_tb 0L ]
+  in
+  check_bool "mul by zero" true (List.mem (Op.Movi (g0, 0L)) ops);
+  let ops = Tcg.Constfold.run [ Op.Binop (Op.Xor, g0, g1, g1); Op.Goto_tb 0L ] in
+  check_bool "xor self" true (List.mem (Op.Movi (g0, 0L)) ops);
+  let ops = Tcg.Constfold.run [ Op.Binopi (Op.Add, g0, g1, 0L); Op.Goto_tb 0L ] in
+  check_bool "add zero is mov" true (List.mem (Op.Mov (g0, g1)) ops)
+
+let test_constfold_branch () =
+  let ops =
+    Tcg.Constfold.run
+      [
+        Op.Movi (t0, 1L);
+        Op.Movi (t1, 1L);
+        Op.Brcond (Op.Eq, t0, t1, 5);
+        Op.Goto_tb 0L;
+      ]
+  in
+  check_bool "constant brcond becomes br" true (List.mem (Op.Br 5) ops)
+
+let test_constfold_stops_at_label () =
+  let ops =
+    Tcg.Constfold.run
+      [
+        Op.Movi (t0, 1L);
+        Op.Set_label 0;
+        Op.Binopi (Op.Add, g0, t0, 1L);
+        Op.Goto_tb 0L;
+      ]
+  in
+  (* After a label the constant is unknown: the add must survive. *)
+  check_bool "no fold across label" true
+    (List.mem (Op.Binopi (Op.Add, g0, t0, 1L)) ops)
+
+(* ------------------------------------------------------------------ *)
+(* DCE                                                                 *)
+
+let test_dce_unread_local () =
+  let ops =
+    Tcg.Dce.run [ Op.Movi (t0, 5L); Op.Movi (g0, 1L); Op.Goto_tb 0L ]
+  in
+  check_int "dead local removed" 2 (List.length ops)
+
+let test_dce_keeps_globals () =
+  let ops = Tcg.Dce.run [ Op.Movi (g0, 5L); Op.Goto_tb 0L ] in
+  check_int "global write kept" 2 (List.length ops)
+
+let test_dce_overwritten_global () =
+  let ops =
+    Tcg.Dce.run [ Op.Movi (g0, 5L); Op.Movi (g0, 6L); Op.Goto_tb 0L ]
+  in
+  check_int "overwritten global removed" 2 (List.length ops);
+  check_bool "second write survives" true (List.mem (Op.Movi (g0, 6L)) ops)
+
+let test_dce_keeps_read_then_overwritten () =
+  let ops =
+    Tcg.Dce.run
+      [ Op.Movi (g0, 5L); Op.Mov (g1, g0); Op.Movi (g0, 6L); Op.Goto_tb 0L ]
+  in
+  check_int "all four kept" 4 (List.length ops)
+
+let test_dce_keeps_stores () =
+  let ops =
+    Tcg.Dce.run [ Op.Movi (t0, 0x5000L); Op.St (g0, t0, 0L); Op.Goto_tb 0L ]
+  in
+  check_int "store and its address kept" 3 (List.length ops)
+
+(* ------------------------------------------------------------------ *)
+(* Memory elimination (Figure 10 at IR level)                          *)
+
+let has_load ops = List.exists (function Op.Ld _ -> true | _ -> false) ops
+let count_stores ops =
+  List.length (List.filter (function Op.St _ -> true | _ -> false) ops)
+
+let test_memopt_raw () =
+  let ops =
+    Tcg.Memopt.run
+      [ Op.St (g0, g1, 0L); Op.Ld (g2, g1, 0L); Op.Goto_tb 0L ]
+  in
+  check_bool "load forwarded" false (has_load ops);
+  check_bool "mov inserted" true (List.mem (Op.Mov (g2, g0)) ops)
+
+let test_memopt_raw_across_allowed_fence () =
+  let ops =
+    Tcg.Memopt.run
+      [ Op.St (g0, g1, 0L); Op.Mb E.F_ww; Op.Ld (g2, g1, 0L); Op.Goto_tb 0L ]
+  in
+  check_bool "F-RAW across Fww" false (has_load ops)
+
+let test_memopt_raw_blocked_by_fmr () =
+  (* The FMR pitfall: RAW must NOT be applied across an Fmr. *)
+  let ops =
+    Tcg.Memopt.run
+      [ Op.St (g0, g1, 0L); Op.Mb E.F_mr; Op.Ld (g2, g1, 0L); Op.Goto_tb 0L ]
+  in
+  check_bool "load survives across Fmr" true (has_load ops)
+
+let test_memopt_rar () =
+  let ops =
+    Tcg.Memopt.run
+      [ Op.Ld (g0, g1, 0L); Op.Mb E.F_rm; Op.Ld (g2, g1, 0L); Op.Goto_tb 0L ]
+  in
+  check_int "one load left" 1
+    (List.length (List.filter (function Op.Ld _ -> true | _ -> false) ops));
+  check_bool "forwarded" true (List.mem (Op.Mov (g2, g0)) ops)
+
+let test_memopt_waw () =
+  let ops =
+    Tcg.Memopt.run
+      [ Op.St (g0, g1, 0L); Op.St (g2, g1, 0L); Op.Goto_tb 0L ]
+  in
+  check_int "first store removed" 1 (count_stores ops)
+
+let test_memopt_waw_blocked_by_real_load () =
+  let ops =
+    Tcg.Memopt.run
+      [
+        Op.St (g0, g1, 0L);
+        Op.Mb E.F_mr;
+        (* blocks forwarding *)
+        Op.Ld (g2, g1, 0L);
+        Op.St (g3, g1, 0L);
+        Op.Goto_tb 0L;
+      ]
+  in
+  check_int "both stores kept (read pins the first)" 2 (count_stores ops)
+
+let test_memopt_different_offsets_no_alias () =
+  let ops =
+    Tcg.Memopt.run
+      [ Op.St (g0, g1, 0L); Op.St (g2, g1, 8L); Op.Ld (g3, g1, 0L); Op.Goto_tb 0L ]
+  in
+  check_bool "forwarding across non-aliasing store" false (has_load ops)
+
+let test_memopt_clobbered_base () =
+  let ops =
+    Tcg.Memopt.run
+      [
+        Op.St (g0, g1, 0L);
+        Op.Binopi (Op.Add, g1, g1, 8L);
+        (* base changed: key stale *)
+        Op.Ld (g2, g1, 0L);
+        Op.Goto_tb 0L;
+      ]
+  in
+  check_bool "no forwarding after base change" true (has_load ops)
+
+let test_memopt_call_clears () =
+  let ops =
+    Tcg.Memopt.run
+      [
+        Op.St (g0, g1, 0L);
+        Op.Call ("helper", [], None);
+        Op.Ld (g2, g1, 0L);
+        Op.Goto_tb 0L;
+      ]
+  in
+  check_bool "helper call clears tracking" true (has_load ops)
+
+(* ------------------------------------------------------------------ *)
+(* Fence merging                                                       *)
+
+let count_fences = Tcg.Fenceopt.count
+
+let test_fence_merge_adjacent () =
+  (* Frm; Fww from the x86→IR mapping merge (§6.1 example). *)
+  let ops =
+    Tcg.Fenceopt.run
+      [ Op.Mb E.F_rm; Op.Mb E.F_ww; Op.St (g0, g1, 0L); Op.Goto_tb 0L ]
+  in
+  check_int "merged to one" 1 (count_fences ops)
+
+let test_fence_merge_across_pure_ops () =
+  let ops =
+    Tcg.Fenceopt.run
+      [ Op.Mb E.F_rm; Op.Movi (t0, 1L); Op.Mb E.F_ww; Op.Goto_tb 0L ]
+  in
+  check_int "pure ops transparent" 1 (count_fences ops)
+
+let test_fence_merge_blocked_by_memory () =
+  let ops =
+    Tcg.Fenceopt.run
+      [ Op.Mb E.F_rm; Op.Ld (g0, g1, 0L); Op.Mb E.F_ww; Op.Goto_tb 0L ]
+  in
+  check_int "memory access blocks merging" 2 (count_fences ops)
+
+let test_fence_drop_acq_rel () =
+  let ops = Tcg.Fenceopt.run [ Op.Mb E.F_acq; Op.Goto_tb 0L ] in
+  check_int "Facq dropped" 0 (count_fences ops)
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: the full pipeline preserves semantics.       *)
+
+let arb_ops =
+  let open QCheck in
+  let temp = oneofl [ g0; g1; g2; g3; t0; t1 ] in
+  let binop = oneofl [ Op.Add; Op.Sub; Op.And; Op.Or; Op.Xor; Op.Mul ] in
+  let fencek = oneofl [ E.F_rm; E.F_ww; E.F_sc; E.F_mr; E.F_rr ] in
+  (* addresses: base temp always holds 0x6000 (set in a prologue) *)
+  let off = map (fun k -> Int64.of_int (8 * k)) (int_range 0 3) in
+  let op =
+    oneof
+      [
+        map (fun (d, i) -> Op.Movi (d, Int64.of_int i)) (pair temp small_int);
+        map (fun (d, s) -> Op.Mov (d, s)) (pair temp temp);
+        map (fun (o, d, a, b) -> Op.Binop (o, d, a, b)) (quad binop temp temp temp);
+        map
+          (fun (o, d, a, i) -> Op.Binopi (o, d, a, Int64.of_int i))
+          (quad binop temp temp (int_range (-8) 8));
+        map (fun (d, o) -> Op.Ld (d, t1, o)) (pair (oneofl [ g0; g1; g2; g3; t0 ]) off);
+        map (fun (s, o) -> Op.St (s, t1, o)) (pair (oneofl [ g0; g1; g2; g3; t0 ]) off);
+        map (fun f -> Op.Mb f) fencek;
+        map (fun (c, d, a, b) -> Op.Setcond (c, d, a, b))
+          (quad (oneofl [ Op.Eq; Op.Ne; Op.Lt; Op.Gtu ]) temp temp temp);
+      ]
+  in
+  small_list op
+
+let final_state ops =
+  (* Prologue pins t1 (the base pointer) and seeds the globals. *)
+  let prologue =
+    [
+      Op.Movi (t1, 0x6000L);
+      Op.Movi (g0, 3L);
+      Op.Movi (g1, 5L);
+      Op.Movi (g2, 7L);
+      Op.Movi (g3, 11L);
+    ]
+  in
+  let full = prologue @ ops @ [ Op.Goto_tb 0L ] in
+  let env, _, mem = exec full in
+  ( Array.to_list (Array.sub env.Tcg.Interp.temps 0 Op.nb_globals),
+    Memsys.Mem.dump mem,
+    full )
+
+let prop_pipeline_preserves_semantics =
+  QCheck.Test.make ~name:"optimizer pipeline preserves block semantics"
+    ~count:500 arb_ops (fun ops ->
+      let globals, mem, full = final_state ops in
+      let optimized =
+        (Tcg.Pipeline.run Tcg.Pipeline.risotto_default (block full)).Tcg.Block.ops
+      in
+      let env', _, mem' = exec optimized in
+      let globals' =
+        Array.to_list (Array.sub env'.Tcg.Interp.temps 0 Op.nb_globals)
+      in
+      globals = globals' && mem = Memsys.Mem.dump mem')
+
+let prop_fence_merge_never_increases =
+  QCheck.Test.make ~name:"fence merging never increases fence count"
+    ~count:300 arb_ops (fun ops ->
+      let full = ops @ [ Op.Goto_tb 0L ] in
+      Tcg.Fenceopt.count (Tcg.Fenceopt.run full) <= Tcg.Fenceopt.count full)
+
+let () =
+  Alcotest.run "tcg"
+    [
+      ( "interpreter",
+        [
+          Alcotest.test_case "basics" `Quick test_interp_basics;
+          Alcotest.test_case "memory and branches" `Quick
+            test_interp_memory_and_branch;
+          Alcotest.test_case "cas/atomic" `Quick test_interp_cas_atomic;
+          Alcotest.test_case "fall-through" `Quick test_interp_fallthrough_fails;
+        ] );
+      ( "const-fold",
+        [
+          Alcotest.test_case "folding" `Quick test_constfold;
+          Alcotest.test_case "false dependencies" `Quick test_constfold_false_dep;
+          Alcotest.test_case "constant branch" `Quick test_constfold_branch;
+          Alcotest.test_case "label barrier" `Quick test_constfold_stops_at_label;
+        ] );
+      ( "dce",
+        [
+          Alcotest.test_case "unread local" `Quick test_dce_unread_local;
+          Alcotest.test_case "globals kept" `Quick test_dce_keeps_globals;
+          Alcotest.test_case "overwritten global" `Quick test_dce_overwritten_global;
+          Alcotest.test_case "read then overwritten" `Quick
+            test_dce_keeps_read_then_overwritten;
+          Alcotest.test_case "stores kept" `Quick test_dce_keeps_stores;
+        ] );
+      ( "mem-elim",
+        [
+          Alcotest.test_case "RAW" `Quick test_memopt_raw;
+          Alcotest.test_case "F-RAW across Fww" `Quick
+            test_memopt_raw_across_allowed_fence;
+          Alcotest.test_case "RAW blocked by Fmr" `Quick
+            test_memopt_raw_blocked_by_fmr;
+          Alcotest.test_case "RAR" `Quick test_memopt_rar;
+          Alcotest.test_case "WAW" `Quick test_memopt_waw;
+          Alcotest.test_case "WAW blocked by load" `Quick
+            test_memopt_waw_blocked_by_real_load;
+          Alcotest.test_case "offset disambiguation" `Quick
+            test_memopt_different_offsets_no_alias;
+          Alcotest.test_case "base clobber" `Quick test_memopt_clobbered_base;
+          Alcotest.test_case "call clears" `Quick test_memopt_call_clears;
+        ] );
+      ( "fence-merge",
+        [
+          Alcotest.test_case "adjacent" `Quick test_fence_merge_adjacent;
+          Alcotest.test_case "across pure ops" `Quick
+            test_fence_merge_across_pure_ops;
+          Alcotest.test_case "blocked by memory" `Quick
+            test_fence_merge_blocked_by_memory;
+          Alcotest.test_case "drops acq/rel" `Quick test_fence_drop_acq_rel;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_pipeline_preserves_semantics;
+          QCheck_alcotest.to_alcotest prop_fence_merge_never_increases;
+        ] );
+    ]

@@ -61,7 +61,7 @@ let dis path =
   go image.Image.Gelf.text_base;
   0
 
-let run path config_name trace =
+let run path config_name trace inject =
   if trace then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.Src.set_level Core.Engine.log_src (Some Logs.Debug)
@@ -71,22 +71,35 @@ let run path config_name trace =
       Format.eprintf "unknown config %S (one of: %s)@." config_name
         (String.concat ", " (List.map fst configs));
       1
-  | Some config ->
-      let image = Image.Gelf.load path in
-      let eng = Core.Engine.create config image in
-      let g = Core.Engine.run eng in
-      let arm = g.Core.Engine.arm in
-      if Buffer.length arm.Arm.Machine.output > 0 then
-        print_string (Buffer.contents arm.Arm.Machine.output);
-      Format.printf
-        "[%s] exit=%Ld cycles=%d insns=%d fences=%d blocks=%d chained=%d \
-         rax=%Ld@."
-        config.Core.Config.name arm.Arm.Machine.exit_code
-        (Core.Engine.cycles g) arm.Arm.Machine.insns arm.Arm.Machine.fences
-        (Core.Engine.stats eng).Core.Engine.blocks_translated
-        (Core.Engine.stats eng).Core.Engine.chained
-        (Core.Engine.reg g R.RAX);
-      Int64.to_int arm.Arm.Machine.exit_code land 0xFF
+  | Some config -> (
+      match Core.Inject.plan_of_string inject with
+      | Error msg ->
+          Format.eprintf "bad --inject plan: %s@." msg;
+          1
+      | Ok plan ->
+          let config = { config with Core.Config.inject = plan } in
+          let image = Image.Gelf.load path in
+          let eng = Core.Engine.create config image in
+          let g = Core.Engine.run eng in
+          let arm = g.Core.Engine.arm in
+          if Buffer.length arm.Arm.Machine.output > 0 then
+            print_string (Buffer.contents arm.Arm.Machine.output);
+          let stats = Core.Engine.stats eng in
+          Format.printf
+            "[%s] exit=%Ld cycles=%d insns=%d fences=%d blocks=%d chained=%d \
+             rax=%Ld@."
+            config.Core.Config.name arm.Arm.Machine.exit_code
+            (Core.Engine.cycles g) arm.Arm.Machine.insns arm.Arm.Machine.fences
+            stats.Core.Engine.blocks_translated stats.Core.Engine.chained
+            (Core.Engine.reg g R.RAX);
+          if stats.Core.Engine.interp_fallbacks > 0 then
+            Format.printf "degraded: %d block(s) ran on the TCG interpreter@."
+              stats.Core.Engine.interp_fallbacks;
+          (match Core.Engine.trap g with
+          | Some f ->
+              Format.printf "guest trap: %s@." (Core.Fault.to_string f)
+          | None -> ());
+          Int64.to_int arm.Arm.Machine.exit_code land 0xFF)
 
 let asm src dst entry =
   let ic = open_in src in
@@ -130,9 +143,19 @@ let dis_cmd = Cmd.v (Cmd.info "dis" ~doc:"Disassemble an image") Term.(const dis
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Trace every executed block.")
 
+let inject_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "inject" ] ~docv:"PLAN"
+        ~doc:
+          "Fault-injection plan: comma-separated $(b,always:SITE), \
+           $(b,nth:SITE:N) or $(b,seeded:SITE:SEED:PERMILLE) rules with \
+           SITE one of decode, compile, host-call, cache-read — e.g. \
+           $(b,nth:compile:1,seeded:host-call:42:250).")
+
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run an image under the DBT")
-    Term.(const run $ path_arg $ config_arg $ trace_arg)
+    Term.(const run $ path_arg $ config_arg $ trace_arg $ inject_arg)
 
 let () =
   exit

@@ -17,12 +17,15 @@ let models =
 
 let read_file path =
   let ic = open_in path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let run_one model verbose path =
   match Litmus.Parser.parse (read_file path) with
+  | exception Sys_error msg ->
+      Format.printf "%-28s READ ERROR: %s@." path msg;
+      false
   | exception Litmus.Parser.Error { line; msg } ->
       Format.printf "%-28s PARSE ERROR at line %d: %s@." path line msg;
       false

@@ -62,6 +62,38 @@ let () =
         e.Linker.Link.signature e.Linker.Link.plt_addr)
     entries;
 
+  (match Linker.Link.unresolved_causes (Core.Engine.links engr) with
+  | [] -> Format.printf "no unresolved imports@."
+  | causes ->
+      List.iter
+        (fun (name, cause) ->
+          Format.printf "  unresolved %s: %s@." name
+            (Linker.Link.cause_name cause))
+        causes);
+
+  (* What resolution reports when linking goes wrong: an IDL that
+     describes a function the host lacks, and omits one the image
+     imports.  Each unresolved import carries its cause. *)
+  let probe_image =
+    Image.Gelf.build ~entry:"probe"
+      ~imports:
+        [
+          Harness.Guest_libs.import "sha256";
+          {
+            Image.Gelf.name = "frobnicate";
+            guest_impl = [ Label "frobnicate@impl"; Ins I.Ret ];
+          };
+        ]
+      [ Label "probe"; Ins I.Hlt ]
+  in
+  let partial_idl = Linker.Idl.parse "i64 frobnicate(i64);" in
+  let probe_links = Linker.Link.resolve probe_image partial_idl in
+  Format.printf "@.resolution against a partial IDL:@.";
+  List.iter
+    (fun (name, cause) ->
+      Format.printf "  unresolved %s: %s@." name (Linker.Link.cause_name cause))
+    (Linker.Link.unresolved_causes probe_links);
+
   let row name (t : Core.Engine.guest_thread) =
     Format.printf "%-22s cycles=%-8d host-calls=%d sha256=%Lx sqrt2=%.6f@."
       name (Core.Engine.cycles t) t.Core.Engine.arm.Arm.Machine.host_calls

@@ -85,7 +85,7 @@ let () =
       let image = Image.Gelf.build ~entry:"main" items in
       let eng = Core.Engine.create config image in
       let main_t = Core.Engine.spawn eng ~tid:0 ~entry:image.Image.Gelf.entry () in
-      let all = Core.Engine.run_concurrent eng [ main_t ] in
+      let all = Core.Engine.threads (Core.Engine.run_concurrent eng [ main_t ]) in
       let total f = List.fold_left (fun a g -> a + f g.Core.Engine.arm) 0 all in
       Format.printf "%-12s %10Ld %10d %8d %9d %d@." config.Core.Config.name
         (Core.Engine.reg main_t R.R13)

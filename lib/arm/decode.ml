@@ -33,7 +33,10 @@ let str c =
   c.pos <- c.pos + n;
   s
 
-let alu_of = function
+let bad c what n =
+  raise (Bad_encoding (c.pos, Printf.sprintf "bad %s index %d" what n))
+
+let alu_of c = function
   | 0 -> Add
   | 1 -> Sub
   | 2 -> And
@@ -42,23 +45,23 @@ let alu_of = function
   | 5 -> Lsl
   | 6 -> Lsr
   | 7 -> Mul
-  | n -> invalid_arg (string_of_int n)
+  | n -> bad c "alu" n
 
-let fp_of = function
+let fp_of c = function
   | 0 -> Fadd
   | 1 -> Fsub
   | 2 -> Fmul
   | 3 -> Fdiv
   | 4 -> Fsqrt
-  | n -> invalid_arg (string_of_int n)
+  | n -> bad c "fp" n
 
-let barrier_of = function
+let barrier_of c = function
   | 0 -> Full
   | 1 -> Ld
   | 2 -> St
-  | n -> invalid_arg (string_of_int n)
+  | n -> bad c "barrier" n
 
-let cc_of = function
+let cc_of c = function
   | 0 -> Eq
   | 1 -> Ne
   | 2 -> Lt
@@ -69,7 +72,7 @@ let cc_of = function
   | 7 -> Ls
   | 8 -> Hi
   | 9 -> Hs
-  | n -> invalid_arg (string_of_int n)
+  | n -> bad c "cc" n
 
 let operand c =
   match byte c with
@@ -99,7 +102,7 @@ let decode_insn c =
   | op when op >= 0x10 && op < 0x18 ->
       let d = byte c in
       let a = byte c in
-      Alu (alu_of (op - 0x10), d, a, operand c)
+      Alu (alu_of c (op - 0x10), d, a, operand c)
   | 0x03 ->
       let d = byte c in
       let base = byte c in
@@ -146,13 +149,13 @@ let decode_insn c =
       let old = byte c in
       let src = byte c in
       Swp { acq; rel; old; src; base = byte c }
-  | 0x20 -> Dmb (barrier_of (byte c))
+  | 0x20 -> Dmb (barrier_of c (byte c))
   | 0x21 ->
       let r = byte c in
       Cmp (r, operand c)
   | 0x30 -> B (i32 c)
   | op when op >= 0x31 && op < 0x3B ->
-      let cc = cc_of (op - 0x31) in
+      let cc = cc_of c (op - 0x31) in
       Bcc (cc, i32 c)
   | 0x3B ->
       let r = byte c in
@@ -162,11 +165,11 @@ let decode_insn c =
       Cbnz (r, i32 c)
   | 0x3D ->
       let r = byte c in
-      Cset (r, cc_of (byte c))
+      Cset (r, cc_of c (byte c))
   | op when op >= 0x40 && op < 0x45 ->
       let d = byte c in
       let a = byte c in
-      Fp (fp_of (op - 0x40), d, a, byte c)
+      Fp (fp_of c (op - 0x40), d, a, byte c)
   | 0x50 ->
       let name = str c in
       let args = reglist c in
@@ -178,11 +181,18 @@ let decode_insn c =
   | 0x60 -> Goto_tb (i64 c)
   | 0x61 -> Goto_ptr (byte c)
   | 0x62 -> Exit_halt
+  | 0x63 ->
+      let kind = str c in
+      Trap { kind; context = str c }
   | op -> raise (Bad_encoding (pos, Printf.sprintf "unknown opcode 0x%02x" op))
 
 let decode_block s pos =
   let c = { s; pos } in
   let n = i32 c in
+  (* Every instruction is at least one byte: a count beyond the
+     remaining input is corruption, not a huge allocation. *)
+  if n < 0 || n > String.length s - c.pos then
+    raise (Bad_encoding (pos, Printf.sprintf "bad block length %d" n));
   (* Explicit loop: both tuple-component and Array.init evaluation
      orders are unspecified, and decode_insn mutates the cursor. *)
   let code = Array.make n Insn.Exit_halt in

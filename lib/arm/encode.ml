@@ -178,6 +178,10 @@ let encode_insn b = function
       put_byte b 0x61;
       put_byte b r
   | Exit_halt -> put_byte b 0x62
+  | Trap { kind; context } ->
+      put_byte b 0x63;
+      put_str b kind;
+      put_str b context
 
 let encode_block b code =
   put_i32 b (Array.length code);

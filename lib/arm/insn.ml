@@ -37,9 +37,10 @@ type t =
   | Goto_tb of int64
   | Goto_ptr of reg
   | Exit_halt
+  | Trap of { kind : string; context : string }
 
 let is_exit = function
-  | Goto_tb _ | Goto_ptr _ | Exit_halt -> true
+  | Goto_tb _ | Goto_ptr _ | Exit_halt | Trap _ -> true
   | _ -> false
 
 let alu_name = function
@@ -132,3 +133,4 @@ let pp ppf = function
   | Goto_tb pc -> Fmt.pf ppf "goto_tb 0x%Lx" pc
   | Goto_ptr r -> Fmt.pf ppf "goto_ptr %a" pp_reg r
   | Exit_halt -> Fmt.string ppf "exit_halt"
+  | Trap { kind; context } -> Fmt.pf ppf "trap.%s %S" kind context

@@ -51,6 +51,10 @@ type t =
   | Goto_tb of int64  (** exit: chain to the block at a guest pc *)
   | Goto_ptr of reg  (** exit: computed guest target *)
   | Exit_halt
+  | Trap of { kind : string; context : string }
+      (** exit: fault the executing guest thread (undecodable guest
+          code, unresolvable link stub).  [kind] is a fault-kind tag
+          (see [Core.Fault.of_tag]); [context] is human-readable. *)
 
 val is_exit : t -> bool
 val pp : Format.formatter -> t -> unit

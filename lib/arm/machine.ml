@@ -1,4 +1,18 @@
-type exit_state = Next_tb of int64 | Jump of int64 | Halted
+type trap =
+  | Trap_insn of { kind : string; context : string }
+  | Unknown_helper of string
+  | Unknown_host of string
+  | Runaway
+  | Fell_through of int
+
+type exit_state = Next_tb of int64 | Jump of int64 | Halted | Trapped of trap
+
+let pp_trap ppf = function
+  | Trap_insn { kind; context } -> Fmt.pf ppf "trap.%s %S" kind context
+  | Unknown_helper name -> Fmt.pf ppf "unknown helper %s" name
+  | Unknown_host func -> Fmt.pf ppf "unknown host function %s" func
+  | Runaway -> Fmt.string ppf "runaway block"
+  | Fell_through i -> Fmt.pf ppf "fell through at index %d" i
 
 type thread = {
   tid : int;
@@ -31,6 +45,7 @@ let mem s = s.s_mem
 let cost s = s.s_cost
 let register_helper s name h = Hashtbl.replace s.helpers name h
 let has_helper s name = Hashtbl.mem s.helpers name
+let find_helper s name = Hashtbl.find_opt s.helpers name
 
 let create_thread tid =
   {
@@ -101,8 +116,10 @@ let exec_block s t (code : Insn.t array) =
   let fuel = ref 10_000_000 in
   let rec go i =
     decr fuel;
-    if !fuel <= 0 then failwith "Arm.Machine: runaway block";
-    if i >= Array.length code then failwith "Arm.Machine: block fell through";
+    if !fuel <= 0 then Trapped Runaway
+    else if i >= Array.length code then Trapped (Fell_through i)
+    else exec i
+  and exec i =
     let insn = code.(i) in
     t.insns <- t.insns + 1;
     let was_dmb = t.last_dmb in
@@ -222,25 +239,21 @@ let exec_block s t (code : Insn.t array) =
     | Insn.Blr_helper (name, args, ret) ->
         charge t c.helper_call;
         t.helper_calls <- t.helper_calls + 1;
-        let h =
-          match Hashtbl.find_opt s.helpers name with
-          | Some h -> h
-          | None -> failwith ("Arm.Machine: unknown helper " ^ name)
-        in
-        let v = h s t (List.map get args) in
-        (match ret with Some r -> set r v | None -> ());
-        if t.halted then Halted else go (i + 1)
+        (match Hashtbl.find_opt s.helpers name with
+        | None -> Trapped (Unknown_helper name)
+        | Some h ->
+            let v = h s t (List.map get args) in
+            (match ret with Some r -> set r v | None -> ());
+            if t.halted then Halted else go (i + 1))
     | Insn.Host_call { func; args; ret } ->
         charge t (c.host_call + (c.marshal_per_arg * List.length args));
         t.host_calls <- t.host_calls + 1;
-        let h =
-          match Hashtbl.find_opt s.helpers func with
-          | Some h -> h
-          | None -> failwith ("Arm.Machine: unknown host function " ^ func)
-        in
-        let v = h s t (List.map get args) in
-        (match ret with Some r -> set r v | None -> ());
-        if t.halted then Halted else go (i + 1)
+        (match Hashtbl.find_opt s.helpers func with
+        | None -> Trapped (Unknown_host func)
+        | Some h ->
+            let v = h s t (List.map get args) in
+            (match ret with Some r -> set r v | None -> ());
+            if t.halted then Halted else go (i + 1))
     | Insn.Goto_tb pc ->
         charge t c.branch;
         Next_tb pc
@@ -248,5 +261,6 @@ let exec_block s t (code : Insn.t array) =
         charge t c.branch;
         Jump (get r)
     | Insn.Exit_halt -> Halted
+    | Insn.Trap { kind; context } -> Trapped (Trap_insn { kind; context })
   in
   go 0

@@ -3,7 +3,22 @@
     statistics, the exclusive monitor for LDXR/STXR, and cache-line
     ownership for the CAS contention model (§7.4). *)
 
-type exit_state = Next_tb of int64 | Jump of int64 | Halted
+(** Why a block's execution faulted rather than exiting normally.
+    [Trap_insn] is a deliberately planted {!Insn.Trap} (undecodable
+    guest code, unresolvable link stub); the others are runtime
+    faults the machine itself detects.  The machine never raises for
+    guest-caused problems — it returns [Trapped] so the engine can
+    fault one thread without tearing down the run. *)
+type trap =
+  | Trap_insn of { kind : string; context : string }
+  | Unknown_helper of string
+  | Unknown_host of string
+  | Runaway  (** block executed too many host instructions *)
+  | Fell_through of int  (** control ran past the end of the block *)
+
+type exit_state = Next_tb of int64 | Jump of int64 | Halted | Trapped of trap
+
+val pp_trap : Format.formatter -> trap -> unit
 
 type shared
 (** State shared by all guest threads: memory, cost model, helper
@@ -34,6 +49,10 @@ val mem : shared -> Memsys.Mem.t
 val cost : shared -> Cost.t
 val register_helper : shared -> string -> helper -> unit
 val has_helper : shared -> string -> bool
+
+(** Look up a registered helper (used by the engine's interpreter
+    fallback to dispatch helper calls outside [exec_block]). *)
+val find_helper : shared -> string -> helper option
 val create_thread : int -> thread
 
 (** Charge extra cycles to a thread (used by helpers). *)

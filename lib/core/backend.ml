@@ -123,7 +123,8 @@ let compile (config : Config.t) (b : Tcg.Block.t) =
         emit (L done_);
         ins (A.Dmb A.Full)
     | Config.Helper _ ->
-        invalid_arg "Backend: Cas op under helper RMW strategy"
+        Fault.raise_ ~pc:b.Tcg.Block.guest_pc Fault.Backend_fault
+          "Cas op under helper RMW strategy"
   in
   let lower_atomic ~op ~old ~addr ~src =
     match config.rmw with
@@ -182,7 +183,8 @@ let compile (config : Config.t) (b : Tcg.Block.t) =
           ins (A.Host_call { func; args = List.map reg args; ret = Option.map reg ret })
       | Op.Goto_tb pc -> ins (A.Goto_tb pc)
       | Op.Goto_ptr t -> ins (A.Goto_ptr (reg t))
-      | Op.Exit_halt -> ins A.Exit_halt)
+      | Op.Exit_halt -> ins A.Exit_halt
+      | Op.Trap (kind, context) -> ins (A.Trap { kind; context }))
     b.Tcg.Block.ops;
   let items = List.rev !items in
   (* Resolve labels to instruction indices. *)
@@ -205,7 +207,9 @@ let compile (config : Config.t) (b : Tcg.Block.t) =
         | Branch (mk, l) -> (
             match Hashtbl.find_opt label_index l with
             | Some ix -> Some (mk ix)
-            | None -> failwith "Backend: unresolved label"))
+            | None ->
+                Fault.raise_ ~pc:b.Tcg.Block.guest_pc Fault.Backend_fault
+                  (Printf.sprintf "unresolved label %d" l)))
       items
   in
   Array.of_list code

@@ -7,6 +7,7 @@ type t = {
   passes : Tcg.Pipeline.pass list;
   rmw : rmw_strategy;
   host_linker : bool;
+  inject : Inject.plan;
 }
 
 let qemu =
@@ -16,6 +17,7 @@ let qemu =
     passes = Tcg.Pipeline.qemu_default;
     rmw = Helper `Gcc10;
     host_linker = false;
+    inject = [];
   }
 
 let no_fences = { qemu with name = "no-fences"; fences = No_fences }

@@ -21,6 +21,7 @@ type t = {
   passes : Tcg.Pipeline.pass list;
   rmw : rmw_strategy;
   host_linker : bool;
+  inject : Inject.plan;  (** fault-injection plan; [[]] in all presets *)
 }
 
 (** Vanilla Qemu 6.1.0. *)

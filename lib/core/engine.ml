@@ -10,6 +10,10 @@ type stats = {
   mutable tcg_ops_before_opt : int;
   mutable tcg_ops_after_opt : int;
   mutable chained : int;  (** block exits whose target was already cached *)
+  mutable interp_fallbacks : int;
+      (** blocks the backend could not compile, demoted to the TCG
+          interpreter *)
+  mutable traps : int;  (** guest threads finished by a fault *)
 }
 
 type t = {
@@ -21,6 +25,9 @@ type t = {
   shared : Arm.Machine.shared;
   code_cache : (int64, Arm.Insn.t array) Hashtbl.t;
   tcg_cache : (int64, Tcg.Block.t) Hashtbl.t;
+  fallback_cache : (int64, Tcg.Block.t) Hashtbl.t;
+      (* blocks running in degraded (interpreted) mode *)
+  inject : Inject.t;
   stats : stats;
   pending_spawns : (int * int64 * int64) Queue.t;  (* tid, entry, arg *)
   next_tid : int ref;
@@ -30,6 +37,7 @@ type guest_thread = {
   arm : Arm.Machine.thread;
   mutable pc : int64;
   mutable finished : bool;
+  mutable trap : Fault.t option;
 }
 
 let create ?cost ?idl config image =
@@ -48,22 +56,25 @@ let create ?cost ?idl config image =
   let shared = Arm.Machine.create_shared ?cost mem in
   let pending_spawns = Queue.create () in
   let next_tid = ref 0 in
+  let inject = Inject.create config.Config.inject in
   Helpers.register_all
     ~on_clone:(fun ~entry ~arg ->
       let tid = !next_tid in
       incr next_tid;
       Queue.push (tid, entry, arg) pending_spawns;
       Int64.of_int tid)
-    shared;
+    ~inject shared;
   let t = {
     config;
     image;
     links;
-    frontend = Frontend.create config image links;
+    frontend = Frontend.create ~inject config image links;
     mem;
     shared;
     code_cache = Hashtbl.create 64;
     tcg_cache = Hashtbl.create 64;
+    fallback_cache = Hashtbl.create 8;
+    inject;
     stats =
       {
         blocks_translated = 0;
@@ -73,6 +84,8 @@ let create ?cost ?idl config image =
         tcg_ops_before_opt = 0;
         tcg_ops_after_opt = 0;
         chained = 0;
+        interp_fallbacks = 0;
+        traps = 0;
       };
     pending_spawns;
     next_tid;
@@ -84,7 +97,10 @@ let config t = t.config
 let memory t = t.mem
 let stats t = t.stats
 let links t = t.links
+let injector t = t.inject
 let stack_top tid = Int64.sub 0x8000_0000L (Int64.of_int (tid * 0x10000))
+
+type compiled = Native of Arm.Insn.t array | Interp_only of Tcg.Block.t
 
 let translate t pc =
   let raw = Frontend.translate t.frontend pc in
@@ -92,31 +108,66 @@ let translate t pc =
       m "translate tb@0x%Lx: %d guest insns -> %d tcg ops" pc
         raw.Tcg.Block.guest_insns (Tcg.Block.op_count raw));
   let optimized = Tcg.Pipeline.run t.config.Config.passes raw in
-  let code = Backend.compile t.config optimized in
   t.stats.blocks_translated <- t.stats.blocks_translated + 1;
   t.stats.tcg_ops_before_opt <-
     t.stats.tcg_ops_before_opt + Tcg.Block.op_count raw;
   t.stats.tcg_ops_after_opt <-
     t.stats.tcg_ops_after_opt + Tcg.Block.op_count optimized;
-  t.stats.fences_emitted <-
-    t.stats.fences_emitted
-    + Array.fold_left
-        (fun n i -> match i with Arm.Insn.Dmb _ -> n + 1 | _ -> n)
-        0 code;
   Hashtbl.replace t.tcg_cache pc optimized;
-  Hashtbl.replace t.code_cache pc code;
-  code
+  let compiled =
+    if Inject.fire t.inject Inject.Compile then
+      Error (Fault.make ~pc Fault.Backend_fault "injected compile fault")
+    else
+      match Backend.compile t.config optimized with
+      | code -> Ok code
+      | exception Fault.Fault f -> Error (Fault.locate ~pc f)
+      | exception Backend.Register_pressure p ->
+          Error
+            (Fault.make ~pc Fault.Backend_fault
+               (Printf.sprintf "register pressure in block 0x%Lx" p))
+  in
+  match compiled with
+  | Ok code ->
+      t.stats.fences_emitted <-
+        t.stats.fences_emitted
+        + Array.fold_left
+            (fun n i -> match i with Arm.Insn.Dmb _ -> n + 1 | _ -> n)
+            0 code;
+      Hashtbl.replace t.code_cache pc code;
+      Native code
+  | Error f ->
+      (* Degraded mode: the block stays on the TCG interpreter.  The
+         run keeps its semantics (the interpreter and backend agree by
+         construction), only this block's speed is lost. *)
+      Log.warn (fun m ->
+          m "tb@0x%Lx: backend failed (%s); falling back to interpreter" pc
+            (Fault.to_string f));
+      t.stats.interp_fallbacks <- t.stats.interp_fallbacks + 1;
+      Hashtbl.replace t.fallback_cache pc optimized;
+      Interp_only optimized
 
-let lookup_block t pc =
+let fetch t pc =
   t.stats.lookups <- t.stats.lookups + 1;
   match Hashtbl.find_opt t.code_cache pc with
   | Some code ->
       t.stats.cache_hits <- t.stats.cache_hits + 1;
-      code
-  | None -> translate t pc
+      Native code
+  | None -> (
+      match Hashtbl.find_opt t.fallback_cache pc with
+      | Some b ->
+          t.stats.cache_hits <- t.stats.cache_hits + 1;
+          Interp_only b
+      | None -> translate t pc)
+
+let lookup_block t pc =
+  match fetch t pc with
+  | Native code -> code
+  | Interp_only _ ->
+      Fault.raise_ ~pc Fault.Backend_fault
+        "block is interpreter-only (backend failed to compile it)"
 
 let tcg_block t pc =
-  ignore (lookup_block t pc);
+  ignore (fetch t pc);
   Hashtbl.find t.tcg_cache pc
 
 let spawn t ~tid ~entry ?(regs = []) () =
@@ -126,7 +177,7 @@ let spawn t ~tid ~entry ?(regs = []) () =
   List.iter
     (fun (r, v) -> arm.Arm.Machine.regs.(X86.Reg.index r) <- v)
     regs;
-  { arm; pc = entry; finished = false }
+  { arm; pc = entry; finished = false; trap = None }
 
 (* Threads created by the guest's clone syscall since the last drain. *)
 let drain_spawns t =
@@ -138,31 +189,119 @@ let drain_spawns t =
   done;
   List.rev !spawned
 
+let fault_of_machine_trap pc = function
+  | Arm.Machine.Trap_insn { kind; context } ->
+      Fault.make ~pc (Fault.of_tag kind) context
+  | Arm.Machine.Unknown_helper name ->
+      Fault.make ~pc Fault.Helper_fault ("unknown helper " ^ name)
+  | Arm.Machine.Unknown_host func ->
+      Fault.make ~pc Fault.Link_fault ("unknown host function " ^ func)
+  | Arm.Machine.Runaway -> Fault.make ~pc Fault.Watchdog "runaway block"
+  | Arm.Machine.Fell_through i ->
+      Fault.make ~pc Fault.Translate_fault
+        (Printf.sprintf "block fell through at index %d" i)
+
+(* Record a fault against one guest thread; only that thread stops. *)
+let fault_thread t g f =
+  let f = Fault.locate ~pc:g.pc ~tid:g.arm.Arm.Machine.tid f in
+  t.stats.traps <- t.stats.traps + 1;
+  Log.warn (fun m ->
+      m "T%d trapped: %s" g.arm.Arm.Machine.tid (Fault.to_string f));
+  g.trap <- Some f;
+  g.finished <- true
+
+(* Degraded execution: run the TCG block in the interpreter against
+   this thread's pinned state.  Globals 0–15 mirror the guest GP
+   registers and cmp_a/cmp_b the lazy flags, so they are copied in and
+   out around the block; helpers dispatch through the machine's
+   registry (so syscalls, RMW helpers and host calls behave exactly as
+   in native execution). *)
+let step_interp t g b =
+  let arm = g.arm in
+  let helpers name args =
+    match Arm.Machine.find_helper t.shared name with
+    | Some h -> h t.shared arm args
+    | None -> raise (Tcg.Interp.No_helper name)
+  in
+  let env = Tcg.Interp.create_env ~helpers t.mem in
+  for r = 0 to 15 do
+    env.Tcg.Interp.temps.(Tcg.Op.guest_reg r) <- arm.Arm.Machine.regs.(r)
+  done;
+  let ca, cb = arm.Arm.Machine.cmp in
+  env.Tcg.Interp.temps.(Tcg.Op.cmp_a) <- ca;
+  env.Tcg.Interp.temps.(Tcg.Op.cmp_b) <- cb;
+  let res = Tcg.Interp.exec_block env b in
+  for r = 0 to 15 do
+    arm.Arm.Machine.regs.(r) <- env.Tcg.Interp.temps.(Tcg.Op.guest_reg r)
+  done;
+  arm.Arm.Machine.cmp <-
+    (env.Tcg.Interp.temps.(Tcg.Op.cmp_a), env.Tcg.Interp.temps.(Tcg.Op.cmp_b));
+  res
+
+let exec t g = function
+  | Native code -> (
+      Log.debug (fun m ->
+          m "T%d exec tb@0x%Lx (%d host insns)" g.arm.Arm.Machine.tid g.pc
+            (Array.length code));
+      match Arm.Machine.exec_block t.shared g.arm code with
+      | Arm.Machine.Next_tb pc -> `Next pc
+      | Arm.Machine.Jump pc -> `Jump pc
+      | Arm.Machine.Halted -> `Halt
+      | Arm.Machine.Trapped tr -> `Trap (fault_of_machine_trap g.pc tr)
+      | exception Fault.Fault f -> `Trap f)
+  | Interp_only b -> (
+      Log.debug (fun m ->
+          m "T%d interp tb@0x%Lx (%d tcg ops)" g.arm.Arm.Machine.tid g.pc
+            (Tcg.Block.op_count b));
+      match step_interp t g b with
+      (* Helpers run mid-block (exit syscall) may halt the thread. *)
+      | Tcg.Interp.Next_tb pc ->
+          if g.arm.Arm.Machine.halted then `Halt else `Next pc
+      | Tcg.Interp.Jump pc ->
+          if g.arm.Arm.Machine.halted then `Halt else `Jump pc
+      | Tcg.Interp.Halted -> `Halt
+      | Tcg.Interp.Trapped (kind, context) ->
+          `Trap (Fault.make ~pc:g.pc (Fault.of_tag kind) context)
+      | exception Fault.Fault f -> `Trap f)
+
 let step_block t g =
-  if not g.finished then begin
-    let code = lookup_block t g.pc in
-    Log.debug (fun m ->
-        m "T%d exec tb@0x%Lx (%d host insns)" g.arm.Arm.Machine.tid g.pc
-          (Array.length code));
-    match Arm.Machine.exec_block t.shared g.arm code with
-    | Arm.Machine.Next_tb pc ->
+  if not g.finished then
+    match
+      match fetch t g.pc with
+      | compiled -> exec t g compiled
+      | exception Fault.Fault f -> `Trap f
+    with
+    | `Next pc ->
         (* A static exit whose target is already translated would be
            patched into a direct jump by a chaining DBT: count it. *)
-        if Hashtbl.mem t.code_cache pc then t.stats.chained <- t.stats.chained + 1;
+        if Hashtbl.mem t.code_cache pc then
+          t.stats.chained <- t.stats.chained + 1;
         g.pc <- pc
-    | Arm.Machine.Jump pc -> g.pc <- pc
-    | Arm.Machine.Halted ->
+    | `Jump pc -> g.pc <- pc
+    | `Halt ->
         Log.debug (fun m -> m "T%d halted" g.arm.Arm.Machine.tid);
         g.finished <- true
-  end
+    | `Trap f -> fault_thread t g f
+
+type outcome =
+  | Completed of guest_thread list
+  | Exhausted of {
+      blocks : int;
+      live_threads : int;
+      threads : guest_thread list;
+    }
+
+let threads = function
+  | Completed ts -> ts
+  | Exhausted { threads; _ } -> threads
 
 (* Round-robin at block granularity; guest clone syscalls may add
    threads between rounds. *)
-let run_concurrent ?(max_blocks = 50_000_000) t threads =
-  let all = ref threads in
+let run_concurrent ?(max_blocks = 50_000_000) t threads0 =
+  let all = ref threads0 in
   let n = ref 0 in
-  let live () = List.exists (fun g -> not g.finished) !all in
-  while live () && !n < max_blocks do
+  let live () = List.filter (fun g -> not g.finished) !all in
+  while live () <> [] && !n < max_blocks do
     List.iter
       (fun g ->
         if not g.finished then begin
@@ -174,7 +313,14 @@ let run_concurrent ?(max_blocks = 50_000_000) t threads =
     | [] -> ()
     | spawned -> all := !all @ spawned
   done;
-  !all
+  match live () with
+  | [] -> Completed !all
+  | alive ->
+      Log.warn (fun m ->
+          m "watchdog: block budget %d exhausted with %d live thread(s)"
+            max_blocks (List.length alive));
+      Exhausted
+        { blocks = !n; live_threads = List.length alive; threads = !all }
 
 let run_thread ?max_blocks t g = ignore (run_concurrent ?max_blocks t [ g ])
 
@@ -185,6 +331,7 @@ let run ?max_blocks ?regs t =
 
 let reg g r = g.arm.Arm.Machine.regs.(X86.Reg.index r)
 let cycles g = g.arm.Arm.Machine.cycles
+let trap g = g.trap
 
 (* ------------------------------------------------------------------ *)
 (* Persistent translation cache: translated host code keyed by guest
@@ -195,7 +342,6 @@ let cycles g = g.arm.Arm.Machine.cycles
 let cache_magic = "RSTC1\n"
 
 let save_cache t path =
-  let oc = open_out_bin path in
   let b = Buffer.create 4096 in
   Buffer.add_string b cache_magic;
   Buffer.add_char b (Char.chr (String.length t.config.Config.name));
@@ -210,37 +356,78 @@ let save_cache t path =
       Buffer.add_string b (Printf.sprintf "%016Lx" pc);
       Arm.Encode.encode_block b code)
     entries;
-  output_string oc (Buffer.contents b);
-  close_out oc;
+  (* Write-to-temp then rename: a crash mid-write must not leave a
+     truncated cache under the real name. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents b));
+  Sys.rename tmp path;
   List.length entries
 
-exception Bad_cache of string
-
 let load_cache t path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  let pos = ref 0 in
-  let take n =
-    if !pos + n > String.length s then raise (Bad_cache "truncated");
-    let r = String.sub s !pos n in
-    pos := !pos + n;
-    r
+  let corrupt fmt =
+    Printf.ksprintf (fun m -> Fault.raise_ Fault.Cache_corrupt m) fmt
   in
-  if take (String.length cache_magic) <> cache_magic then
-    raise (Bad_cache "bad magic");
-  let name_len = Char.code (take 1).[0] in
-  let name = take name_len in
-  if name <> t.config.Config.name then
-    raise
-      (Bad_cache
-         (Printf.sprintf "cache was built for config %S, engine runs %S" name
-            t.config.Config.name));
-  let count = int_of_string (take 8) in
-  for _ = 1 to count do
-    let pc = Int64.of_string ("0x" ^ take 16) in
-    let code, pos' = Arm.Decode.decode_block s !pos in
-    pos := pos';
-    Hashtbl.replace t.code_cache pc code
-  done;
-  count
+  let parse s =
+    let pos = ref 0 in
+    let take n =
+      if !pos + n > String.length s then corrupt "truncated";
+      let r = String.sub s !pos n in
+      pos := !pos + n;
+      r
+    in
+    if take (String.length cache_magic) <> cache_magic then corrupt "bad magic";
+    let name_len = Char.code (take 1).[0] in
+    let name = take name_len in
+    if name <> t.config.Config.name then
+      corrupt "cache was built for config %S, engine runs %S" name
+        t.config.Config.name;
+    let count =
+      match int_of_string_opt (take 8) with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> corrupt "bad entry count"
+    in
+    (* Stage into a private table: a fault mid-parse must not leave a
+       half-loaded code cache behind. *)
+    let staged = Hashtbl.create (max 16 count) in
+    for i = 1 to count do
+      if Inject.fire t.inject Inject.Cache_read then
+        corrupt "injected cache-read fault at entry %d" i;
+      let pc =
+        match Int64.of_string_opt ("0x" ^ take 16) with
+        | Some pc -> pc
+        | None -> corrupt "bad pc in entry %d" i
+      in
+      match Arm.Decode.decode_block s !pos with
+      | code, pos' ->
+          pos := pos';
+          Hashtbl.replace staged pc code
+      | exception Arm.Decode.Bad_encoding (at, msg) ->
+          corrupt "entry %d (offset %d): %s" i at msg
+    done;
+    staged
+  in
+  match
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse s
+  with
+  | staged ->
+      Hashtbl.iter (Hashtbl.replace t.code_cache) staged;
+      Ok (Hashtbl.length staged)
+  | exception Fault.Fault f ->
+      Log.warn (fun m ->
+          m "persistent cache %s unusable (%s); starting cold" path
+            (Fault.to_string f));
+      Error f
+  | exception Sys_error msg ->
+      let f = Fault.make Fault.Cache_corrupt msg in
+      Log.warn (fun m ->
+          m "persistent cache %s unreadable (%s); starting cold" path msg);
+      Error f

@@ -3,7 +3,15 @@
 
     Guest GP registers live pinned in host registers X0–X15; guest
     threads share the guest memory and the code cache, and are scheduled
-    round-robin at translation-block granularity. *)
+    round-robin at translation-block granularity.
+
+    {b Fault model.}  Guest-caused failures (undecodable code, missing
+    helpers, unresolvable imports, runaway blocks) never abort a run:
+    the faulting thread finishes with {!trap} set to the {!Fault.t}
+    describing what happened, and every other thread keeps running.
+    Backend compilation failures demote the block to the TCG
+    interpreter (degraded mode, counted in [stats.interp_fallbacks])
+    with unchanged semantics. *)
 
 type stats = {
   mutable blocks_translated : int;
@@ -15,10 +23,15 @@ type stats = {
   mutable chained : int;
       (** static block exits whose target was already translated — the
           directly-patchable jumps a chaining DBT would use *)
+  mutable interp_fallbacks : int;
+      (** blocks the backend could not compile, demoted to the TCG
+          interpreter *)
+  mutable traps : int;  (** guest threads finished by a fault *)
 }
 
 (** Engine log source ([risotto.engine]): [info] logs translations,
-    [debug] traces every executed block. *)
+    [debug] traces every executed block, [warn] reports faults and
+    degraded modes. *)
 val log_src : Logs.src
 
 type t
@@ -27,11 +40,14 @@ type guest_thread = {
   arm : Arm.Machine.thread;
   mutable pc : int64;
   mutable finished : bool;
+  mutable trap : Fault.t option;
+      (** set when the thread was stopped by a fault *)
 }
 
 (** Create an engine.  [idl] defaults to the full host-library IDL when
     the config enables the linker; pass [~idl:[]] to disable linking of
-    everything. *)
+    everything.  The engine's fault-injection state is built from
+    [config.inject]. *)
 val create :
   ?cost:Arm.Cost.t -> ?idl:Linker.Idl.signature list -> Config.t ->
   Image.Gelf.t -> t
@@ -40,6 +56,10 @@ val config : t -> Config.t
 val memory : t -> Memsys.Mem.t
 val stats : t -> stats
 val links : t -> Linker.Link.t
+
+val injector : t -> Inject.t
+(** The engine's fault-injection state (shared with the frontend and
+    the registered helpers). *)
 
 (** Lowest address of the default stack area; thread [tid] gets the
     64 KiB below [stack_top tid]. *)
@@ -51,24 +71,50 @@ val spawn :
   t -> tid:int -> entry:int64 -> ?regs:(X86.Reg.t * int64) list -> unit ->
   guest_thread
 
+(** How the block at a pc executes: natively, or on the TCG
+    interpreter because the backend could not compile it. *)
+type compiled = Native of Arm.Insn.t array | Interp_only of Tcg.Block.t
+
 (** Translate (or fetch from cache) the block at an address. *)
+val fetch : t -> int64 -> compiled
+
+(** The native code at an address.  Raises {!Fault.Fault}
+    ([Backend_fault]) if the block is interpreter-only; prefer
+    {!fetch}. *)
 val lookup_block : t -> int64 -> Arm.Insn.t array
 
 (** The optimized TCG block at an address (for inspection). *)
 val tcg_block : t -> int64 -> Tcg.Block.t
 
-(** Execute one translation block of the thread. *)
+(** Execute one translation block of the thread.  Faults are absorbed:
+    they finish the thread and set its [trap] field. *)
 val step_block : t -> guest_thread -> unit
 
 (** Run a thread until it halts (or the block budget is exhausted). *)
 val run_thread : ?max_blocks:int -> t -> guest_thread -> unit
 
+(** Result of {!run_concurrent}: either every thread halted (or
+    trapped), or the watchdog budget ran out first. *)
+type outcome =
+  | Completed of guest_thread list
+  | Exhausted of {
+      blocks : int;  (** blocks executed when the budget ran out *)
+      live_threads : int;  (** threads still runnable *)
+      threads : guest_thread list;
+    }
+
+(** All threads of an outcome (including clone-spawned ones),
+    regardless of how the run ended. *)
+val threads : outcome -> guest_thread list
+
 (** Round-robin over the threads (at translation-block granularity)
-    until all halt.  Threads the guest creates through the clone
-    syscall (56) join the rotation; the returned list includes them.
-    Guest syscalls: 1 write, 56 clone(fn, arg), 60 exit, 186 gettid. *)
+    until all halt or trap, or [max_blocks] is exhausted (watchdog;
+    reported as [Exhausted] rather than silently stopping).  Threads
+    the guest creates through the clone syscall (56) join the rotation;
+    the outcome includes them.  Guest syscalls: 1 write, 56
+    clone(fn, arg), 60 exit, 186 gettid. *)
 val run_concurrent :
-  ?max_blocks:int -> t -> guest_thread list -> guest_thread list
+  ?max_blocks:int -> t -> guest_thread list -> outcome
 
 (** Convenience: spawn a single thread at the image entry, run it, and
     return it. *)
@@ -79,17 +125,23 @@ val reg : guest_thread -> X86.Reg.t -> int64
 
 val cycles : guest_thread -> int
 
+val trap : guest_thread -> Fault.t option
+(** The fault that stopped the thread, if any. *)
+
 (** {1 Persistent translation cache}
 
     Translated code can be saved after a run and reloaded by a later
     engine with the same configuration, skipping retranslation (cf. the
     caching translators in the paper's related work). *)
 
-exception Bad_cache of string
-
-(** Returns the number of blocks written. *)
+(** Returns the number of blocks written.  The write is atomic: the
+    cache is assembled in a temporary file renamed into place, so a
+    crash mid-save cannot leave a truncated cache under [path]. *)
 val save_cache : t -> string -> int
 
-(** Returns the number of blocks loaded.  Raises {!Bad_cache} when the
-    file is corrupt or was produced by a different configuration. *)
-val load_cache : t -> string -> int
+(** Returns the number of blocks loaded, or the {!Fault.t}
+    ([Cache_corrupt]) explaining why the file was rejected — corrupt,
+    truncated, unreadable, or built by a different configuration.  On
+    [Error] the engine's code cache is untouched (cold start); nothing
+    is ever partially loaded. *)
+val load_cache : t -> string -> (int, Fault.t) result

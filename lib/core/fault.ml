@@ -1,0 +1,59 @@
+type kind =
+  | Decode_fault
+  | Translate_fault
+  | Backend_fault
+  | Helper_fault
+  | Link_fault
+  | Mem_fault
+  | Watchdog
+  | Cache_corrupt
+
+type t = { kind : kind; pc : int64 option; tid : int option; context : string }
+
+exception Fault of t
+
+let make ?pc ?tid kind context = { kind; pc; tid; context }
+let raise_ ?pc ?tid kind context = raise (Fault (make ?pc ?tid kind context))
+
+let locate ?pc ?tid f =
+  {
+    f with
+    pc = (match f.pc with Some _ -> f.pc | None -> pc);
+    tid = (match f.tid with Some _ -> f.tid | None -> tid);
+  }
+
+let tag = function
+  | Decode_fault -> "decode"
+  | Translate_fault -> "translate"
+  | Backend_fault -> "backend"
+  | Helper_fault -> "helper"
+  | Link_fault -> "link"
+  | Mem_fault -> "mem"
+  | Watchdog -> "watchdog"
+  | Cache_corrupt -> "cache"
+
+(* Lower layers (lib/arm, lib/tcg) carry fault kinds as string tags so
+   they need not depend on this module; an unrecognised tag — e.g. from
+   a newer cache file — degrades to the generic translation fault. *)
+let of_tag = function
+  | "decode" -> Decode_fault
+  | "backend" -> Backend_fault
+  | "helper" -> Helper_fault
+  | "link" -> Link_fault
+  | "mem" -> Mem_fault
+  | "watchdog" -> Watchdog
+  | "cache" -> Cache_corrupt
+  | _ -> Translate_fault
+
+let pp ppf f =
+  Fmt.pf ppf "%s fault" (tag f.kind);
+  (match f.tid with Some tid -> Fmt.pf ppf " [tid %d]" tid | None -> ());
+  (match f.pc with Some pc -> Fmt.pf ppf " at 0x%Lx" pc | None -> ());
+  if f.context <> "" then Fmt.pf ppf ": %s" f.context
+
+let to_string f = Fmt.str "%a" pp f
+
+let () =
+  Printexc.register_printer (function
+    | Fault f -> Some (to_string f)
+    | _ -> None)

@@ -1,0 +1,46 @@
+(** Typed faults for the DBT engine.
+
+    Every recoverable failure in the translation/execution stack —
+    undecodable guest bytes, backend lowering failures, missing
+    helpers, unresolved host-library imports, corrupt persistent
+    caches, watchdog expiry — is described by a {!t} instead of a bare
+    [Failure]/[Invalid_argument].  The engine converts faults into
+    per-thread trap states so one misbehaving guest thread cannot tear
+    down a concurrent run, and into degraded modes (interpreter
+    fallback, cold cache start) where forward progress is possible. *)
+
+type kind =
+  | Decode_fault  (** guest bytes did not decode to an x86 instruction *)
+  | Translate_fault  (** frontend could not lower a decoded instruction *)
+  | Backend_fault  (** TCG→Arm compilation failed *)
+  | Helper_fault  (** a runtime helper was missing or misused *)
+  | Link_fault  (** host-linker import could not be resolved or called *)
+  | Mem_fault  (** guest memory access outside the modelled space *)
+  | Watchdog  (** execution budget exhausted *)
+  | Cache_corrupt  (** persistent translation cache failed validation *)
+
+type t = {
+  kind : kind;
+  pc : int64 option;  (** faulting guest pc, when known *)
+  tid : int option;  (** faulting guest thread, when known *)
+  context : string;  (** human-readable detail *)
+}
+
+exception Fault of t
+
+val make : ?pc:int64 -> ?tid:int -> kind -> string -> t
+val raise_ : ?pc:int64 -> ?tid:int -> kind -> string -> 'a
+
+val locate : ?pc:int64 -> ?tid:int -> t -> t
+(** Fill in [pc]/[tid] if the fault does not already carry them; a
+    fault keeps the location closest to its origin. *)
+
+val tag : kind -> string
+(** Stable string tag, used to thread fault kinds through layers that
+    cannot depend on this module ({!Tcg.Op.Trap}, {!Arm.Insn.Trap}). *)
+
+val of_tag : string -> kind
+(** Inverse of {!tag}; unknown tags map to [Translate_fault]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -5,9 +5,15 @@ type t = {
   config : Config.t;
   image : Image.Gelf.t;
   links : Linker.Link.t;
+  inject : Inject.t;
 }
 
-let create config image links = { config; image; links }
+let create ?inject config image links =
+  let inject =
+    match inject with Some i -> i | None -> Inject.create config.Config.inject
+  in
+  { config; image; links; inject }
+
 let max_block_insns = 32
 
 (* Translation-time state: op accumulator (reversed), temp and label
@@ -37,7 +43,7 @@ let log2_scale = function
   | 2 -> 1L
   | 4 -> 2L
   | 8 -> 3L
-  | s -> invalid_arg (Printf.sprintf "frontend: bad scale %d" s)
+  | s -> Fault.raise_ Fault.Translate_fault (Printf.sprintf "bad scale %d" s)
 
 (* Effective address of an x86 memory operand as (base temp, offset). *)
 let ea ctx (m : X86.Insn.mem) =
@@ -349,6 +355,39 @@ let translate_plt_stub ctx (entry : Linker.Link.entry) =
   emit ctx (Op.Binopi (Op.Add, rsp, rsp, 8L));
   emit ctx (Op.Goto_ptr tret)
 
+(* A pc that is the PLT slot of an import the IDL promised but the
+   host library lacks.  Such imports become lazy trap stubs: the run
+   only faults — and only in the calling thread — if the import is
+   actually invoked (Link_fault). *)
+let link_trap t pc =
+  if not t.config.Config.host_linker then None
+  else
+    List.find_map
+      (fun (name, cause) ->
+        match cause with
+        | Linker.Link.Missing_host_symbol -> (
+            match List.assoc_opt name t.image.Image.Gelf.plt with
+            | Some addr when Int64.equal addr pc -> Some name
+            | Some _ | None -> None)
+        | Linker.Link.No_idl_signature | Linker.Link.No_plt_slot -> None)
+      (Linker.Link.unresolved_causes t.links)
+
+let decode_one t pc =
+  if Inject.fire t.inject Inject.Decode then
+    Error (Printf.sprintf "injected decode fault at 0x%Lx" pc)
+  else
+    match
+      X86.Decode.decode t.image.Image.Gelf.text ~pc
+        ~base:t.image.Image.Gelf.text_base
+    with
+    | insn_and_len -> Ok insn_and_len
+    | exception X86.Decode.Bad_encoding (epc, msg) ->
+        Error (Printf.sprintf "0x%Lx: %s" epc msg)
+
+let trap_block pc kind context =
+  { Tcg.Block.guest_pc = pc; guest_len = 0; guest_insns = 0;
+    ops = [ Op.Trap (kind, context) ] }
+
 let translate t pc =
   let ctx = { ops = []; next_temp = Op.first_local; next_label = 0 } in
   match
@@ -362,26 +401,41 @@ let translate t pc =
         guest_insns = 0;
         ops = List.rev ctx.ops;
       }
-  | None ->
-      let rec go pc count len =
-        let insn, ilen =
-          X86.Decode.decode t.image.Image.Gelf.text ~pc
-            ~base:t.image.Image.Gelf.text_base
-        in
-        let next_pc = Int64.add pc (Int64.of_int ilen) in
-        let ended = translate_insn t ctx pc next_pc insn in
-        let count = count + 1 and len = len + ilen in
-        if ended then (count, len)
-        else if count >= max_block_insns then begin
-          emit ctx (Op.Goto_tb next_pc);
-          (count, len)
-        end
-        else go next_pc count len
-      in
-      let insns, len = go pc 0 0 in
-      {
-        Tcg.Block.guest_pc = pc;
-        guest_len = len;
-        guest_insns = insns;
-        ops = List.rev ctx.ops;
-      }
+  | None -> (
+      match link_trap t pc with
+      | Some name ->
+          trap_block pc "link" ("unresolved host import " ^ name)
+      | None -> (
+          match decode_one t pc with
+          | Error msg ->
+              (* The very first instruction is undecodable: the whole
+                 block is a trap.  Executing it faults the thread. *)
+              trap_block pc "decode" msg
+          | Ok first ->
+              let rec go insn_len pc count len =
+                let insn, ilen = insn_len in
+                let next_pc = Int64.add pc (Int64.of_int ilen) in
+                let ended = translate_insn t ctx pc next_pc insn in
+                let count = count + 1 and len = len + ilen in
+                if ended then (count, len)
+                else if count >= max_block_insns then begin
+                  emit ctx (Op.Goto_tb next_pc);
+                  (count, len)
+                end
+                else
+                  match decode_one t next_pc with
+                  | Ok next -> go next next_pc count len
+                  | Error _ ->
+                      (* Undecodable bytes mid-block: end the block at
+                         the boundary.  If control actually reaches the
+                         bad pc, its own (trap) block faults then. *)
+                      emit ctx (Op.Goto_tb next_pc);
+                      (count, len)
+              in
+              let insns, len = go first pc 0 0 in
+              {
+                Tcg.Block.guest_pc = pc;
+                guest_len = len;
+                guest_insns = insns;
+                ops = List.rev ctx.ops;
+              }))

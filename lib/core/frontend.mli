@@ -4,15 +4,25 @@
 
     When the host linker is active and the pc is a resolved PLT entry,
     the frontend instead emits the marshaled native call sequence of
-    Figure 11 (steps 4–5). *)
+    Figure 11 (steps 4–5).
+
+    Undecodable guest bytes never raise: a block whose first
+    instruction fails to decode becomes a trap block ([Op.Trap
+    "decode"]) that faults only the thread executing it, and a failure
+    mid-block ends the block at the last good boundary.  The PLT slot
+    of an import the IDL promised but the host lacks becomes a lazy
+    [Op.Trap "link"] stub. *)
 
 type t = {
   config : Config.t;
   image : Image.Gelf.t;
   links : Linker.Link.t;
+  inject : Inject.t;
 }
 
-val create : Config.t -> Image.Gelf.t -> Linker.Link.t -> t
+val create : ?inject:Inject.t -> Config.t -> Image.Gelf.t -> Linker.Link.t -> t
+(** [?inject] shares an injection state with the enclosing engine; by
+    default a fresh one is built from [config.inject]. *)
 
 (** Maximum guest instructions per translation block. *)
 val max_block_insns : int

@@ -5,7 +5,9 @@ let softfloat_cycles = 38
 let arg n args =
   match List.nth_opt args n with
   | Some v -> v
-  | None -> invalid_arg "helper: missing argument"
+  | None ->
+      Fault.raise_ Fault.Helper_fault
+        (Printf.sprintf "missing helper argument %d" n)
 
 let softfloat op _shared t args =
   M.charge t softfloat_cycles;
@@ -52,7 +54,7 @@ let atomic_op op ~gcc9 shared (t : M.thread) args =
     (match op with `Xadd -> Int64.add old src | `Xchg -> src);
   old
 
-let register_all ?on_clone shared =
+let register_all ?on_clone ?inject shared =
   M.register_helper shared "helper_syscall" (fun s t args ->
       match arg 0 args with
       | 60L ->
@@ -90,6 +92,11 @@ let register_all ?on_clone shared =
   List.iter
     (fun (name, (fn : Linker.Hostlib.fn)) ->
       M.register_helper shared name (fun s t args ->
+          (match inject with
+          | Some inj when Inject.fire inj Inject.Host_call ->
+              Fault.raise_ Fault.Link_fault
+                ("injected host-call fault in " ^ name)
+          | Some _ | None -> ());
           M.charge t (fn.Linker.Hostlib.cycles args);
           fn.Linker.Hostlib.call (M.mem s) args))
     Linker.Hostlib.all

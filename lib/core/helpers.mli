@@ -13,8 +13,13 @@
     helper-call round trip). *)
 val softfloat_cycles : int
 
-(** [register_all ?on_clone shared] — [on_clone ~entry ~arg] implements
-    the clone syscall (56): spawn a guest thread at [entry] with
-    RDI=[arg], returning its tid. *)
+(** [register_all ?on_clone ?inject shared] — [on_clone ~entry ~arg]
+    implements the clone syscall (56): spawn a guest thread at [entry]
+    with RDI=[arg], returning its tid.  [?inject] enables the
+    [Host_call] fault-injection site on every host-library binding
+    (the call raises a [Link_fault] instead of executing). *)
 val register_all :
-  ?on_clone:(entry:int64 -> arg:int64 -> int64) -> Arm.Machine.shared -> unit
+  ?on_clone:(entry:int64 -> arg:int64 -> int64) ->
+  ?inject:Inject.t ->
+  Arm.Machine.shared ->
+  unit

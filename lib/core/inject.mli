@@ -1,0 +1,48 @@
+(** Deterministic fault injection for robustness testing.
+
+    A {!plan} names the sites at which the engine should fail on
+    purpose — the Nth decode, every backend compile, a seeded fraction
+    of host calls — and {!fire} answers "should this occurrence fail?"
+    while counting occurrences per site.  Everything is deterministic:
+    [Nth]/[Always] by construction, [Seeded] via a fixed-seed LCG, so
+    an injected failure reproduces exactly under the same plan. *)
+
+type site =
+  | Decode  (** frontend decodes a guest instruction *)
+  | Compile  (** backend compiles a TCG block to host code *)
+  | Host_call  (** a dynamically-linked host library call executes *)
+  | Cache_read  (** an entry is read from the persistent cache *)
+
+type rule =
+  | Nth of site * int  (** fail the Nth occurrence (1-based) of the site *)
+  | Always of site  (** fail every occurrence of the site *)
+  | Seeded of { site : site; seed : int64; permille : int }
+      (** fail [permille]/1000 of occurrences, pseudo-randomly but
+          reproducibly from [seed] *)
+
+type plan = rule list
+
+type t
+(** Injection state: the plan plus per-site occurrence counters and
+    per-rule RNG state.  One [t] per engine. *)
+
+val create : plan -> t
+
+val disabled : unit -> t
+(** An empty plan: {!fire} always answers [false]. *)
+
+val fire : t -> site -> bool
+(** Record one occurrence of [site] and report whether the plan says
+    this occurrence must fail. *)
+
+val count : t -> site -> int
+(** Occurrences of [site] seen so far (fired or not). *)
+
+val site_name : site -> string
+
+val plan_of_string : string -> (plan, string) result
+(** Parse a comma-separated rule list, e.g.
+    ["nth:compile:1,always:decode,seeded:host-call:42:250"]. *)
+
+val pp_rule : Format.formatter -> rule -> unit
+val pp_plan : Format.formatter -> plan -> unit

@@ -93,7 +93,7 @@ let run_native ?cost cfg =
       (fun (t, halted) ->
         if not !halted then
           match Arm.Machine.exec_block shared t native_block with
-          | Arm.Machine.Halted -> halted := true
+          | Arm.Machine.Halted | Arm.Machine.Trapped _ -> halted := true
           | Arm.Machine.Next_tb _ | Arm.Machine.Jump _ -> ())
       !live
   done;

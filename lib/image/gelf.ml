@@ -75,14 +75,22 @@ let save t path =
       put_str b name;
       put_i64 b addr)
     t.plt;
-  let oc = open_out_bin path in
-  output_string oc (Buffer.contents b);
-  close_out oc
+  (* Temp-and-rename so a crash mid-write cannot leave a truncated
+     image under the real name. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents b));
+  Sys.rename tmp path
 
 let load path =
   let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   let pos = ref 0 in
   let take n =
     if !pos + n > String.length s then raise (Bad_image "truncated");

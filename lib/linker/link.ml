@@ -1,25 +1,38 @@
 type entry = { name : string; plt_addr : int64; signature : Idl.signature }
-type t = { table : entry list; unresolved : string list }
 
-let empty = { table = []; unresolved = [] }
+type cause = No_idl_signature | Missing_host_symbol | No_plt_slot
+
+type t = { table : entry list; unres : (string * cause) list }
+
+let empty = { table = []; unres = [] }
 
 let resolve (image : Image.Gelf.t) sigs =
   let resolve_one name =
-    match
-      ( List.find_opt (fun (s : Idl.signature) -> s.name = name) sigs,
-        Hostlib.find name,
-        List.assoc_opt name image.Image.Gelf.plt )
-    with
-    | Some signature, Some _, Some plt_addr -> Either.Left { name; plt_addr; signature }
-    | _ -> Either.Right name
+    (* sequential lets: `and` bindings have unspecified evaluation order *)
+    let signature =
+      List.find_opt (fun (s : Idl.signature) -> s.name = name) sigs
+    in
+    let host = Hostlib.find name in
+    let plt = List.assoc_opt name image.Image.Gelf.plt in
+    match (signature, host, plt) with
+    | Some signature, Some _, Some plt_addr ->
+        Either.Left { name; plt_addr; signature }
+    | None, _, _ -> Either.Right (name, No_idl_signature)
+    | Some _, None, _ -> Either.Right (name, Missing_host_symbol)
+    | Some _, Some _, None -> Either.Right (name, No_plt_slot)
   in
-  let table, unresolved =
-    List.partition_map resolve_one image.Image.Gelf.imports
-  in
-  { table; unresolved }
+  let table, unres = List.partition_map resolve_one image.Image.Gelf.imports in
+  { table; unres }
 
 let entries t = t.table
-let unresolved t = t.unresolved
+let unresolved t = List.map fst t.unres
+let unresolved_causes t = t.unres
+let unresolved_cause t name = List.assoc_opt name t.unres
+
+let cause_name = function
+  | No_idl_signature -> "no IDL signature"
+  | Missing_host_symbol -> "missing host symbol"
+  | No_plt_slot -> "no PLT slot"
 
 let lookup t addr =
   List.find_opt (fun e -> Int64.equal e.plt_addr addr) t.table

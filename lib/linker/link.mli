@@ -8,6 +8,16 @@
 
 type entry = { name : string; plt_addr : int64; signature : Idl.signature }
 
+(** Why an import failed to link.  The distinction matters downstream:
+    an import without an IDL signature simply falls back to guest
+    translation, while one the IDL promised but the host lacks becomes
+    a lazy trap stub — it only faults the thread that actually calls
+    it. *)
+type cause =
+  | No_idl_signature  (** the IDL does not describe this import *)
+  | Missing_host_symbol  (** described, but absent from the host library *)
+  | No_plt_slot  (** described and present, but the image has no PLT entry *)
+
 type t
 
 (** [resolve image sigs] builds the lookup table for imports that are
@@ -20,8 +30,12 @@ val entries : t -> entry list
 (** Lookup by block address (Figure 11 step 3/4 dispatch). *)
 val lookup : t -> int64 -> entry option
 
-(** Imports that could not be linked (missing from the IDL or the host
-    system) — these fall back to guest translation. *)
+(** Names of imports that could not be linked. *)
 val unresolved : t -> string list
 
+(** Unlinked imports with the reason each one failed. *)
+val unresolved_causes : t -> (string * cause) list
+
+val unresolved_cause : t -> string -> cause option
+val cause_name : cause -> string
 val empty : t

@@ -72,7 +72,7 @@ let run ops =
         | Op.St _ | Op.Mb _ | Op.Br _
         | Op.Call (_, _, None)
         | Op.Host_call { ret = None; _ }
-        | Op.Goto_tb _ | Op.Goto_ptr _ | Op.Exit_halt ->
+        | Op.Goto_tb _ | Op.Goto_ptr _ | Op.Exit_halt | Op.Trap _ ->
             go consts (op :: acc) rest)
   in
   go IM.empty [] ops

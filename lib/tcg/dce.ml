@@ -34,7 +34,7 @@ let drop_dead_straightline ops =
     | op :: before ->
         let exits_block =
           match op with
-          | Op.Goto_tb _ | Op.Goto_ptr _ | Op.Exit_halt -> true
+          | Op.Goto_tb _ | Op.Goto_ptr _ | Op.Exit_halt | Op.Trap _ -> true
           | _ -> false
         in
         let dead d = not (IS.mem d live) in

@@ -1,4 +1,10 @@
-type exit_state = Next_tb of int64 | Jump of int64 | Halted
+type exit_state =
+  | Next_tb of int64
+  | Jump of int64
+  | Halted
+  | Trapped of string * string
+
+exception No_helper of string
 
 type env = {
   temps : int64 array;
@@ -6,7 +12,7 @@ type env = {
   helpers : string -> int64 list -> int64;
 }
 
-let default_helpers name _ = failwith ("Tcg.Interp: no helper " ^ name)
+let default_helpers name _ = raise (No_helper name)
 
 let create_env ?(helpers = default_helpers) mem =
   { temps = Array.make 256 0L; mem; helpers }
@@ -22,10 +28,14 @@ let exec_block env (b : Block.t) =
   let fuel = ref 1_000_000 in
   let rec go i =
     decr fuel;
-    if !fuel <= 0 then failwith "Tcg.Interp: runaway block";
-    if i >= Array.length ops then
-      failwith
-        (Printf.sprintf "Tcg.Interp: block 0x%Lx fell through" b.guest_pc)
+    if !fuel <= 0 then
+      Trapped
+        ( "watchdog",
+          Printf.sprintf "Tcg.Interp: runaway block 0x%Lx" b.guest_pc )
+    else if i >= Array.length ops then
+      Trapped
+        ( "translate",
+          Printf.sprintf "Tcg.Interp: block 0x%Lx fell through" b.guest_pc )
     else
       match ops.(i) with
       | Op.Movi (d, v) ->
@@ -51,10 +61,9 @@ let exec_block env (b : Block.t) =
           set d (if Op.eval_cond c (get a) (get b') then 1L else 0L);
           go (i + 1)
       | Op.Brcond (c, a, b', l) ->
-          if Op.eval_cond c (get a) (get b') then go (Hashtbl.find labels l)
-          else go (i + 1)
+          if Op.eval_cond c (get a) (get b') then jump l else go (i + 1)
       | Op.Set_label _ -> go (i + 1)
-      | Op.Br l -> go (Hashtbl.find labels l)
+      | Op.Br l -> jump l
       | Op.Cas { old; addr; expect; desired } ->
           let a = get addr in
           let cur = Memsys.Mem.load env.mem a in
@@ -70,12 +79,24 @@ let exec_block env (b : Block.t) =
           | `Xchg -> Memsys.Mem.store env.mem a (get src));
           set old cur;
           go (i + 1)
-      | Op.Call (f, args, ret) | Op.Host_call { func = f; args; ret } ->
-          let v = env.helpers f (List.map get args) in
-          (match ret with Some r -> set r v | None -> ());
-          go (i + 1)
+      | Op.Call (f, args, ret) | Op.Host_call { func = f; args; ret } -> (
+          match env.helpers f (List.map get args) with
+          | v ->
+              (match ret with Some r -> set r v | None -> ());
+              go (i + 1)
+          | exception No_helper name ->
+              Trapped ("helper", "Tcg.Interp: no helper " ^ name))
       | Op.Goto_tb pc -> Next_tb pc
       | Op.Goto_ptr t -> Jump (get t)
       | Op.Exit_halt -> Halted
+      | Op.Trap (kind, context) -> Trapped (kind, context)
+  and jump l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> go i
+    | None ->
+        Trapped
+          ( "translate",
+            Printf.sprintf "Tcg.Interp: block 0x%Lx: undefined label %d"
+              b.guest_pc l )
   in
   go 0

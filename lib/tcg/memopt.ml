@@ -90,7 +90,7 @@ let run ops =
       | Op.Cas _ | Op.Atomic _ | Op.Call _ | Op.Host_call _ ->
           clear_all ();
           List.iter bump (Op.writes op)
-      | Op.Goto_tb _ | Op.Goto_ptr _ | Op.Exit_halt -> ()
+      | Op.Goto_tb _ | Op.Goto_ptr _ | Op.Exit_halt | Op.Trap _ -> ()
       | Op.Movi _ | Op.Mov _ | Op.Binop _ | Op.Binopi _ | Op.Setcond _ ->
           List.iter bump (Op.writes op))
     arr;

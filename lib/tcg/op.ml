@@ -28,6 +28,7 @@ type t =
   | Goto_tb of int64
   | Goto_ptr of temp
   | Exit_halt
+  | Trap of string * string
 
 let reads = function
   | Movi _ -> []
@@ -46,7 +47,7 @@ let reads = function
   | Host_call { args; _ } -> args
   | Goto_tb _ -> []
   | Goto_ptr t -> [ t ]
-  | Exit_halt -> []
+  | Exit_halt | Trap _ -> []
 
 let writes = function
   | Movi (d, _) | Mov (d, _) | Binop (_, d, _, _) | Binopi (_, d, _, _)
@@ -58,13 +59,13 @@ let writes = function
   | Call (_, _, None)
   | Host_call { ret = None; _ }
   | St _ | Mb _ | Brcond _ | Set_label _ | Br _ | Goto_tb _ | Goto_ptr _
-  | Exit_halt ->
+  | Exit_halt | Trap _ ->
       []
 
 let is_pure = function
   | Movi _ | Mov _ | Binop _ | Binopi _ | Setcond _ -> true
   | Ld _ | St _ | Mb _ | Brcond _ | Set_label _ | Br _ | Cas _ | Atomic _
-  | Call _ | Host_call _ | Goto_tb _ | Goto_ptr _ | Exit_halt ->
+  | Call _ | Host_call _ | Goto_tb _ | Goto_ptr _ | Exit_halt | Trap _ ->
       false
 
 let eval_binop op a b =
@@ -156,3 +157,4 @@ let pp ppf = function
   | Goto_tb pc -> Fmt.pf ppf "goto_tb 0x%Lx" pc
   | Goto_ptr t -> Fmt.pf ppf "goto_ptr %a" pp_temp t
   | Exit_halt -> Fmt.string ppf "exit_halt"
+  | Trap (kind, context) -> Fmt.pf ppf "trap.%s %S" kind context

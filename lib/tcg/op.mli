@@ -49,6 +49,12 @@ type t =
   | Goto_tb of int64  (** static jump to the block at a guest pc *)
   | Goto_ptr of temp  (** computed jump (ret, indirect) *)
   | Exit_halt
+  | Trap of string * string
+      (** exit: fault the executing guest thread.  Carries a fault-kind
+          tag (see [Core.Fault.of_tag]) and a human-readable context.
+          Emitted by the frontend for undecodable guest code and for
+          link stubs whose host symbol is missing: executing the block
+          traps the calling thread only. *)
 
 (** Temps read / written by an op. *)
 val reads : t -> temp list

@@ -246,9 +246,9 @@ let test_helper_dispatch () =
     (t.M.cycles >= (M.cost shared).Arm.Cost.helper_call + 10)
 
 let test_unknown_helper_fails () =
-  Alcotest.check_raises "unknown helper"
-    (Failure "Arm.Machine: unknown helper nope") (fun () ->
-      ignore (exec [ A.Blr_helper ("nope", [], None); A.Exit_halt ]))
+  let _, exit, _, _ = exec [ A.Blr_helper ("nope", [], None); A.Exit_halt ] in
+  check_bool "unknown helper traps" true
+    (exit = M.Trapped (M.Unknown_helper "nope"))
 
 (* ------------------------------------------------------------------ *)
 (* Code-buffer serialization                                           *)
@@ -303,6 +303,11 @@ let arb_insn =
       map (fun pc -> A.Goto_tb (Int64.of_int pc)) target;
       map (fun r -> A.Goto_ptr r) reg;
       always A.Exit_halt;
+      map
+        (fun (kind, context) -> A.Trap { kind; context })
+        (pair
+           (oneofl [ "decode"; "link"; "watchdog" ])
+           (oneofl [ ""; "bad bytes"; "unresolved host import mystery" ]));
     ]
 
 let prop_block_roundtrip =

@@ -442,7 +442,9 @@ let test_guest_clone () =
       let image = build items in
       let eng = Core.Engine.create config image in
       let main = Core.Engine.spawn eng ~tid:0 ~entry:image.Image.Gelf.entry () in
-      let all = Core.Engine.run_concurrent eng [ main ] in
+      let all =
+        Core.Engine.threads (Core.Engine.run_concurrent eng [ main ])
+      in
       check_int (config.Core.Config.name ^ ": four threads ran") 4
         (List.length all);
       check_i64
@@ -474,19 +476,23 @@ let test_persistent_cache () =
   check_bool "blocks saved" true (saved >= 2);
   (* Second engine: load, run, and translate nothing. *)
   let eng2 = Core.Engine.create Core.Config.risotto image in
-  let loaded = Core.Engine.load_cache eng2 path in
+  let loaded =
+    match Core.Engine.load_cache eng2 path with
+    | Ok n -> n
+    | Error f -> Alcotest.failf "cache load failed: %s" (Core.Fault.to_string f)
+  in
   check_int "all blocks loaded" saved loaded;
   let g2 = Core.Engine.run eng2 in
   check_int "no retranslation" 0
     (Core.Engine.stats eng2).Core.Engine.blocks_translated;
   check_i64 "same result" (Core.Engine.reg g1 R.RBX) (Core.Engine.reg g2 R.RBX);
   check_int "same cycles" (Core.Engine.cycles g1) (Core.Engine.cycles g2);
-  (* Wrong config is rejected. *)
+  (* Wrong config is rejected (as a fault, not an exception). *)
   let eng3 = Core.Engine.create Core.Config.qemu image in
   check_bool "config mismatch rejected" true
     (match Core.Engine.load_cache eng3 path with
-    | exception Core.Engine.Bad_cache _ -> true
-    | _ -> false);
+    | Error { Core.Fault.kind = Core.Fault.Cache_corrupt; _ } -> true
+    | Ok _ | Error _ -> false);
   Sys.remove path
 
 let () =

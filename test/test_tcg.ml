@@ -79,9 +79,10 @@ let test_interp_cas_atomic () =
   check_i64 "memory" 18L (Memsys.Mem.load mem 0x5000L)
 
 let test_interp_fallthrough_fails () =
-  Alcotest.check_raises "fall-through detected"
-    (Failure "Tcg.Interp: block 0x1000 fell through") (fun () ->
-      ignore (exec [ Op.Movi (g0, 1L) ]))
+  let _, exit, _ = exec [ Op.Movi (g0, 1L) ] in
+  check_bool "fall-through trapped" true
+    (exit
+    = Tcg.Interp.Trapped ("translate", "Tcg.Interp: block 0x1000 fell through"))
 
 (* ------------------------------------------------------------------ *)
 (* Constant folding                                                    *)

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Guard the fault-isolation discipline: the translation pipeline
+# (lib/core, lib/arm, lib/linker) must report failures through typed
+# faults (Core.Fault) or result values, never by crashing the whole
+# engine with a bare failwith / invalid_arg.  fault.ml is the one
+# place allowed to raise.
+#
+# Run via `dune build @check-no-crash` (part of `dune runtest`).
+set -eu
+
+root=${1:-.}
+status=0
+
+for dir in lib/core lib/arm lib/linker; do
+  for f in "$root"/$dir/*.ml; do
+    case $f in
+      */fault.ml) continue ;;
+    esac
+    if grep -Hn 'failwith\|invalid_arg' "$f"; then
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "error: bare failwith/invalid_arg in the translation pipeline;" >&2
+  echo "raise a typed Core.Fault (or return a result) instead." >&2
+fi
+exit $status

@@ -1,11 +1,17 @@
 (* The full benchmark harness: regenerates every table and figure of the
    paper's evaluation (§7), prints the §3 correctness findings, runs the
-   DESIGN.md ablations, and measures the engine itself with Bechamel
-   (one Test.make per table/figure).
+   DESIGN.md ablations, measures the engine itself with Bechamel (one
+   Test.make per table/figure), and times the corpus × schemes
+   refinement sweep sequentially vs on the Domain pool, recording the
+   result as BENCH_refinement.json.
 
-   Pass "--no-bechamel" to skip the wall-clock micro-benchmarks. *)
+   Usage: main.exe [SECTION...] [-j N] [--reps N] [-o FILE] [--no-bechamel]
 
-let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv
+   Sections (default: all): fig2/fig3/fig7 (mapping tables), sec3,
+   fig8/fig9 (minimality), fig12..fig15 (figures), ablations, bechamel,
+   refinement (the JSON wall-clock bench).  "--no-bechamel" is kept as a
+   shorthand for every section except bechamel. *)
+
 let ppf = Format.std_formatter
 
 let section title =
@@ -87,7 +93,7 @@ let correctness_findings () =
 (* ------------------------------------------------------------------ *)
 (* Figures 8/9: mapping minimality                                     *)
 
-let minimality () =
+let minimality ?pool () =
   section "Figures 8/9: mapping minimality (every rule is load-bearing)";
   let x86 = Axiom.X86_tso.model and tcg = Axiom.Tcg_model.model in
   let drop_kind k scheme p =
@@ -123,8 +129,8 @@ let minimality () =
     (fun name ->
       let src = List.assoc name Litmus.Catalog.mapping_corpus in
       let sites =
-        Mapping.Minimality.necessary_fences base ~src_model:x86 ~tgt_model:tcg
-          src
+        Mapping.Minimality.necessary_fences ?pool base ~src_model:x86
+          ~tgt_model:tcg src
       in
       Format.printf "  %s image: %a@." name
         (Fmt.list ~sep:Fmt.comma Mapping.Minimality.pp_site)
@@ -134,15 +140,15 @@ let minimality () =
 (* ------------------------------------------------------------------ *)
 (* Figures 12-15                                                       *)
 
-let figures () =
+let figures ?pool () =
   section "Figure 12: PARSEC / Phoenix run time";
-  Harness.Figures.pp_fig12 ppf (Harness.Figures.fig12 ());
+  Harness.Figures.pp_fig12 ppf (Harness.Figures.fig12 ?pool ());
   section "Figure 13: OpenSSL / sqlite (dynamic host linker)";
-  Harness.Figures.pp_fig13 ppf (Harness.Figures.fig13 ());
+  Harness.Figures.pp_fig13 ppf (Harness.Figures.fig13 ?pool ());
   section "Figure 14: libm (dynamic host linker)";
-  Harness.Figures.pp_fig14 ppf (Harness.Figures.fig14 ());
+  Harness.Figures.pp_fig14 ppf (Harness.Figures.fig14 ?pool ());
   section "Figure 15: CAS throughput";
-  Harness.Figures.pp_fig15 ppf (Harness.Figures.fig15 ())
+  Harness.Figures.pp_fig15 ppf (Harness.Figures.fig15 ?pool ())
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -243,11 +249,208 @@ let bechamel_benches () =
       Test.make ~name:"dbt/translate-block" (stage translate_one);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Refinement sweep wall-clock bench → BENCH_refinement.json           *)
+
+(* Every mapping scheme the test suite checks, over the whole corpus:
+   the workload behind every Theorem-1 verdict in this repo. *)
+let all_schemes =
+  let open Mapping.Schemes in
+  let x86 = Axiom.X86_tso.model in
+  let tcg = Axiom.Tcg_model.model in
+  let arm_orig = Axiom.Arm_cats.model Axiom.Arm_cats.Original in
+  let arm_fix = Axiom.Arm_cats.model Axiom.Arm_cats.Corrected in
+  let rmw2_fe, rmw2_be = risotto_rmw2_preset in
+  let casal_fe, casal_be = risotto_casal_preset in
+  let qemu_fe, qemu_be = qemu_preset in
+  [
+    ("fig7a/x86->tcg", x86_to_tcg Risotto_frontend, x86, tcg);
+    ("fig2/x86->tcg", x86_to_tcg Qemu_frontend, x86, tcg);
+    ("qemu-gcc10/arm-fix", x86_to_arm qemu_fe qemu_be, x86, arm_fix);
+    ( "qemu-gcc9/arm-fix",
+      x86_to_arm Qemu_frontend { lowering = `Qemu; rmw = Helper_gcc9 },
+      x86,
+      arm_fix );
+    ("risotto-rmw2/arm-orig", x86_to_arm rmw2_fe rmw2_be, x86, arm_orig);
+    ("risotto-rmw2/arm-fix", x86_to_arm rmw2_fe rmw2_be, x86, arm_fix);
+    ("risotto-casal/arm-orig", x86_to_arm casal_fe casal_be, x86, arm_orig);
+    ("risotto-casal/arm-fix", x86_to_arm casal_fe casal_be, x86, arm_fix);
+    ("armcats-direct/arm-orig", x86_to_arm_direct_armcats, x86, arm_orig);
+    ("armcats-direct/arm-fix", x86_to_arm_direct_armcats, x86, arm_fix);
+    ( "no-fences/arm-fix",
+      x86_to_arm No_fences_frontend { lowering = `Risotto; rmw = Risotto_rmw1 },
+      x86,
+      arm_fix );
+  ]
+
+let sweep_tasks () =
+  List.concat_map
+    (fun (sname, f, src_model, tgt_model) ->
+      List.map
+        (fun (tname, src) -> (sname, tname, f, src_model, tgt_model, src))
+        Litmus.Catalog.mapping_corpus)
+    all_schemes
+
+let run_sweep ?pool tasks =
+  Parallel.Pool.map_list ?pool
+    (fun (sname, tname, f, src_model, tgt_model, src) ->
+      let r = Mapping.Check.refines ~src_model ~tgt_model ~src ~tgt:(f src) in
+      { r with Mapping.Check.name = Printf.sprintf "%s: %s" sname tname })
+    tasks
+
+(* Wall time of the best of [reps] cold-cache runs. *)
+let time_sweep ?pool ~reps tasks =
+  let best = ref infinity in
+  let reports = ref [] in
+  for _ = 1 to reps do
+    Litmus.Enumerate.clear_caches ();
+    let t0 = Unix.gettimeofday () in
+    reports := run_sweep ?pool tasks;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  (!best, !reports)
+
+let refinement_bench ~jobs ~reps ~out () =
+  section
+    (Printf.sprintf
+       "Refinement sweep wall-clock bench (sequential vs -j %d, best of %d)"
+       jobs reps);
+  let tasks = sweep_tasks () in
+  let seq_s, seq_reports = time_sweep ~reps tasks in
+  let par_s, par_reports =
+    Parallel.Pool.with_pool ~jobs (fun pool -> time_sweep ~pool ~reps tasks)
+  in
+  let hits, misses = Litmus.Enumerate.cache_stats () in
+  let identical = seq_reports = par_reports in
+  let violations =
+    List.length (List.filter (fun r -> not r.Mapping.Check.ok) seq_reports)
+  in
+  let speedup = seq_s /. par_s in
+  Format.printf
+    "  %d tasks (%d schemes x %d programs): sequential %.3fs, -j %d %.3fs, \
+     speedup %.2fx@.  verdicts identical: %b; violations (expected bug \
+     reports): %d@."
+    (List.length tasks) (List.length all_schemes)
+    (List.length Litmus.Catalog.mapping_corpus)
+    seq_s jobs par_s speedup identical violations;
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  "bench": "corpus x schemes refinement sweep",
+  "schemes": %d,
+  "corpus_programs": %d,
+  "tasks": %d,
+  "reps": %d,
+  "jobs": %d,
+  "recommended_domains": %d,
+  "sequential_s": %.6f,
+  "parallel_s": %.6f,
+  "speedup": %.3f,
+  "verdicts_identical": %b,
+  "violations": %d,
+  "behaviour_cache": { "hits": %d, "misses": %d }
+}
+|}
+    (List.length all_schemes)
+    (List.length Litmus.Catalog.mapping_corpus)
+    (List.length tasks) reps jobs
+    (Domain.recommended_domain_count ())
+    seq_s par_s speedup identical violations hits misses;
+  close_out oc;
+  Format.printf "  wrote %s@." out;
+  if not identical then begin
+    Format.eprintf "refinement bench: parallel verdicts diverge!@.";
+    exit 2
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Section dispatch                                                    *)
+
+type opts = {
+  sections : string list;  (* canonical names, in request order *)
+  jobs : int;
+  reps : int;
+  out : string;
+}
+
+let canonical = function
+  | "fig1" | "fig2" | "fig3" | "fig7" | "tables" -> Some "tables"
+  | "sec3" | "correctness" -> Some "sec3"
+  | "fig8" | "fig9" | "minimality" -> Some "minimality"
+  | "fig12" | "fig13" | "fig14" | "fig15" | "figures" -> Some "figures"
+  | "ablations" -> Some "ablations"
+  | "bechamel" -> Some "bechamel"
+  | "refinement" | "bench-json" -> Some "refinement"
+  | _ -> None
+
+let all_sections =
+  [ "tables"; "sec3"; "minimality"; "figures"; "ablations"; "bechamel";
+    "refinement" ]
+
+let usage () =
+  Format.eprintf
+    "usage: main.exe [SECTION...] [-j N] [--reps N] [-o FILE] \
+     [--no-bechamel]@.sections: fig2 fig3 fig7 sec3 fig8 fig9 fig12..fig15 \
+     ablations bechamel refinement@.";
+  exit 1
+
+let parse_args () =
+  let sections = ref [] in
+  let no_bechamel = ref false in
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let reps = ref 3 in
+  let out = ref "BENCH_refinement.json" in
+  let rec go = function
+    | [] -> ()
+    | "--no-bechamel" :: rest ->
+        no_bechamel := true;
+        go rest
+    | "-j" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n > 0 -> jobs := n
+        | _ -> usage ());
+        go rest
+    | "--reps" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n > 0 -> reps := n
+        | _ -> usage ());
+        go rest
+    | "-o" :: path :: rest ->
+        out := path;
+        go rest
+    | s :: rest -> (
+        match canonical s with
+        | Some c ->
+            if not (List.mem c !sections) then sections := c :: !sections;
+            go rest
+        | None -> usage ())
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let sections =
+    match List.rev !sections with
+    | [] ->
+        List.filter
+          (fun s -> not (!no_bechamel && s = "bechamel"))
+          all_sections
+    | chosen -> chosen
+  in
+  { sections; jobs = !jobs; reps = !reps; out = !out }
+
 let () =
-  mapping_tables ();
-  correctness_findings ();
-  minimality ();
-  figures ();
-  ablations ();
-  if not no_bechamel then bechamel_benches ();
+  let { sections; jobs; reps; out } = parse_args () in
+  let pool = if jobs > 1 then Some (Parallel.Pool.create ~jobs ()) else None in
+  List.iter
+    (fun s ->
+      match s with
+      | "tables" -> mapping_tables ()
+      | "sec3" -> correctness_findings ()
+      | "minimality" -> minimality ?pool ()
+      | "figures" -> figures ?pool ()
+      | "ablations" -> ablations ()
+      | "bechamel" -> bechamel_benches ()
+      | "refinement" -> refinement_bench ~jobs ~reps ~out ()
+      | _ -> assert false)
+    sections;
+  (match pool with Some p -> Parallel.Pool.shutdown p | None -> ());
   Format.printf "@.done.@."

@@ -2,7 +2,7 @@
    a memory model — the CI entry point for the litmus corpus.
 
      dune exec bin/litmus_run.exe -- litmus/MP.litmus -m x86
-     dune exec bin/litmus_run.exe -- litmus/*.litmus -m arm *)
+     dune exec bin/litmus_run.exe -- litmus/*.litmus -m arm -j 4 *)
 
 open Cmdliner
 
@@ -21,16 +21,28 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_one model verbose path =
+(* The per-file work, run as a pool task: everything except printing, so
+   output stays in command-line order whatever the parallel schedule. *)
+type outcome =
+  | Read_error of string
+  | Parse_error of { line : int; msg : string }
+  | Checked of Litmus.Ast.test * Litmus.Enumerate.verdict
+
+let check_one model path =
   match Litmus.Parser.parse (read_file path) with
-  | exception Sys_error msg ->
+  | exception Sys_error msg -> Read_error msg
+  | exception Litmus.Parser.Error { line; msg } -> Parse_error { line; msg }
+  | test -> Checked (test, Litmus.Enumerate.check model test)
+
+let report_one model verbose path outcome =
+  match outcome with
+  | Read_error msg ->
       Format.printf "%-28s READ ERROR: %s@." path msg;
       false
-  | exception Litmus.Parser.Error { line; msg } ->
+  | Parse_error { line; msg } ->
       Format.printf "%-28s PARSE ERROR at line %d: %s@." path line msg;
       false
-  | test ->
-      let v = Litmus.Enumerate.check model test in
+  | Checked (test, v) ->
       Format.printf "%-28s %-6s (%s: %a, %d behaviours)@." path
         (if v.Litmus.Enumerate.ok then "OK" else "FAIL")
         model.Axiom.Model.name Litmus.Ast.pp_expectation test.Litmus.Ast.expect
@@ -42,14 +54,21 @@ let run_one model verbose path =
           v.Litmus.Enumerate.witnesses;
       v.Litmus.Enumerate.ok
 
-let main files model_name verbose =
+let main files model_name verbose jobs =
   match List.assoc_opt model_name models with
   | None ->
       Format.eprintf "unknown model %S (one of: %s)@." model_name
         (String.concat ", " (List.map fst models));
       1
   | Some model ->
-      let ok = List.map (run_one model verbose) files in
+      let outcomes =
+        match jobs with
+        | Some j when j > 1 ->
+            Parallel.Pool.with_pool ~jobs:j (fun pool ->
+                Parallel.Pool.map_list ~pool (check_one model) files)
+        | _ -> List.map (check_one model) files
+      in
+      let ok = List.map2 (report_one model verbose) files outcomes in
       let failures = List.length (List.filter not ok) in
       Format.printf "%d/%d tests hold@."
         (List.length ok - failures)
@@ -68,9 +87,26 @@ let model_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print witnesses on failure.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Check files on $(docv) parallel domains (default: sequential; 0 \
+           means one per recommended core).")
+
+let main files model_name verbose jobs =
+  let jobs =
+    match jobs with
+    | Some 0 -> Some (Domain.recommended_domain_count ())
+    | j -> j
+  in
+  main files model_name verbose jobs
+
 let cmd =
   Cmd.v
     (Cmd.info "litmus_run" ~doc:"Check litmus files against their expectations")
-    Term.(const main $ files_arg $ model_arg $ verbose_arg)
+    Term.(const main $ files_arg $ model_arg $ verbose_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

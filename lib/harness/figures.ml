@@ -9,22 +9,44 @@ type fig12_row = {
 
 let relative row cycles = float_of_int cycles /. float_of_int row.qemu
 
-let run_bench (b : Parsec.bench) =
-  let cycles config =
-    let g, _ = Kernel.run_dbt config b.Parsec.spec in
-    Core.Engine.cycles g
-  in
-  let native = (Kernel.run_native b.Parsec.spec).Arm.Machine.cycles in
-  {
-    bench = b;
-    qemu = cycles Core.Config.qemu;
-    no_fences = cycles Core.Config.no_fences;
-    tcg_ver = cycles Core.Config.tcg_ver;
-    risotto = cycles Core.Config.risotto;
-    native;
-  }
+(* One task per benchmark × column cell, so a pool can spread the whole
+   figure instead of one domain chewing a benchmark's five columns. *)
+type fig12_cell = Dbt of Core.Config.t | Native
 
-let fig12 () = List.map run_bench Parsec.all
+let fig12_columns =
+  [
+    Dbt Core.Config.qemu;
+    Dbt Core.Config.no_fences;
+    Dbt Core.Config.tcg_ver;
+    Dbt Core.Config.risotto;
+    Native;
+  ]
+
+let run_cell ((b : Parsec.bench), cell) =
+  match cell with
+  | Dbt config ->
+      let g, _ = Kernel.run_dbt config b.Parsec.spec in
+      Core.Engine.cycles g
+  | Native -> (Kernel.run_native b.Parsec.spec).Arm.Machine.cycles
+
+let fig12_rows_of ?pool benches =
+  let cells =
+    List.concat_map
+      (fun b -> List.map (fun c -> (b, c)) fig12_columns)
+      benches
+  in
+  let results = Parallel.Pool.map_list ?pool run_cell cells in
+  let rec rows benches results =
+    match (benches, results) with
+    | [], [] -> []
+    | b :: bs, qemu :: no_fences :: tcg_ver :: risotto :: native :: rest ->
+        { bench = b; qemu; no_fences; tcg_ver; risotto; native }
+        :: rows bs rest
+    | _ -> assert false
+  in
+  rows benches results
+
+let fig12 ?pool () = fig12_rows_of ?pool Parsec.all
 
 type fig12_summary = {
   avg_improvement : float;
@@ -47,9 +69,9 @@ let summarize_fig12 rows =
     max_fence_share = mx fence_shares;
   }
 
-let fig13 () = List.map Libbench.run Libbench.openssl
-let fig14 () = List.map Libbench.run Libbench.libm
-let fig15 () = List.map Casbench.run Casbench.configs
+let fig13 ?pool () = Parallel.Pool.map_list ?pool Libbench.run Libbench.openssl
+let fig14 ?pool () = Parallel.Pool.map_list ?pool Libbench.run Libbench.libm
+let fig15 ?pool () = Parallel.Pool.map_list ?pool Casbench.run Casbench.configs
 
 let pp_fig12 ppf rows =
   Fmt.pf ppf "Figure 12: run time relative to Qemu (lower is better)@.";

@@ -15,7 +15,9 @@ type fig12_row = {
 (** Relative run time vs Qemu (1.0 = Qemu), the y-axis of Figure 12. *)
 val relative : fig12_row -> int -> float
 
-val fig12 : unit -> fig12_row list
+(** With [?pool], the benchmark × column cells of the figure run as
+    parallel tasks; rows come back in the same order either way. *)
+val fig12 : ?pool:Parallel.Pool.t -> unit -> fig12_row list
 
 type fig12_summary = {
   avg_improvement : float;  (** tcg-ver vs qemu, fraction *)
@@ -25,9 +27,9 @@ type fig12_summary = {
 }
 
 val summarize_fig12 : fig12_row list -> fig12_summary
-val fig13 : unit -> Libbench.result list
-val fig14 : unit -> Libbench.result list
-val fig15 : unit -> Casbench.result list
+val fig13 : ?pool:Parallel.Pool.t -> unit -> Libbench.result list
+val fig14 : ?pool:Parallel.Pool.t -> unit -> Libbench.result list
+val fig15 : ?pool:Parallel.Pool.t -> unit -> Casbench.result list
 
 val pp_fig12 : Format.formatter -> fig12_row list -> unit
 val pp_fig13 : Format.formatter -> Libbench.result list -> unit

@@ -207,7 +207,52 @@ let init_events (p : Ast.prog) ~first_id =
       { E.id = first_id + i; tid = E.init_tid; label = E.Write { loc; value; ord = E.W_plain } })
     locs
 
-let candidates (p : Ast.prog) =
+(* The per-thread runs of a combo, assembled into the candidate's shared
+   skeleton: events, po, register valuations and dependency relations —
+   everything except the rf/co choices. *)
+type combo = {
+  c_events : E.t list;
+  c_po : Rel.t;
+  c_regs : ((int * string) * int) list;
+  c_rmw : (int * int * Ast.rmw_kind) list;
+  c_data : Rel.t;
+  c_ctrl : Rel.t;
+}
+
+let assemble_combo inits (runs : run list) =
+  let thread_events = List.concat_map (fun r -> r.r_events) runs in
+  let events = inits @ thread_events in
+  let po =
+    List.fold_left
+      (fun acc r ->
+        let rec pairs acc = function
+          | [] -> acc
+          | (e : E.t) :: rest ->
+              pairs
+                (List.fold_left
+                   (fun acc (e' : E.t) -> Rel.add e.id e'.id acc)
+                   acc rest)
+                rest
+        in
+        pairs acc r.r_events)
+      Rel.empty runs
+  in
+  let regs =
+    List.concat_map
+      (fun (r, run) -> List.map (fun (reg, v) -> ((r, reg), v)) run.r_env)
+      (List.mapi (fun i run -> (i, run)) runs)
+    |> List.sort compare
+  in
+  {
+    c_events = events;
+    c_po = po;
+    c_regs = regs;
+    c_rmw = List.concat_map (fun r -> r.r_rmw) runs;
+    c_data = Rel.of_list (List.concat_map (fun r -> r.r_data) runs);
+    c_ctrl = Rel.of_list (List.concat_map (fun r -> r.r_ctrl) runs);
+  }
+
+let combos (p : Ast.prog) =
   let uni = universe p in
   let inits = init_events p ~first_id:0 in
   let base = List.length inits in
@@ -219,44 +264,49 @@ let candidates (p : Ast.prog) =
         thread_runs uni t.tid t.code ~first_id:(base + (t.tid * stride)))
       p.threads
   in
-  let combos = cartesian runs_per_thread in
-  List.concat_map
-    (fun (runs : run list) ->
-      let thread_events = List.concat_map (fun r -> r.r_events) runs in
-      let events = inits @ thread_events in
-      let po =
+  List.map (assemble_combo inits) (cartesian runs_per_thread)
+
+let execution_of_combo c ~rf ~co =
+  let pick k =
+    List.fold_left
+      (fun acc (r, w, kind) -> if k kind then Rel.add r w acc else acc)
+      Rel.empty c.c_rmw
+  in
+  {
+    X.events = c.c_events;
+    po = c.c_po;
+    rf;
+    co;
+    rmw_plain =
+      pick (function Ast.Rmw_x86 | Ast.Rmw_tcg -> true | Ast.Rmw_arm _ -> false);
+    amo =
+      pick (function Ast.Rmw_arm { impl = Ast.Amo; _ } -> true | _ -> false);
+    lxsx =
+      pick (function Ast.Rmw_arm { impl = Ast.Lxsx; _ } -> true | _ -> false);
+    data = c.c_data;
+    ctrl = c.c_ctrl;
+    addr = Rel.empty;
+  }
+
+let writes_of events loc =
+  List.filter (fun (e : E.t) -> E.is_write e && E.loc e = Some loc) events
+
+(* Init writes precede every non-init write of their location. *)
+let init_first_constraints ws =
+  List.fold_left
+    (fun acc (w : E.t) ->
+      if E.is_init w then
         List.fold_left
-          (fun acc r ->
-            let rec pairs acc = function
-              | [] -> acc
-              | (e : E.t) :: rest ->
-                  pairs
-                    (List.fold_left
-                       (fun acc (e' : E.t) -> Rel.add e.id e'.id acc)
-                       acc rest)
-                    rest
-            in
-            pairs acc r.r_events)
-          Rel.empty runs
-      in
-      let regs =
-        List.concat_map
-          (fun (r, run) -> List.map (fun (reg, v) -> ((r, reg), v)) run.r_env)
-          (List.mapi (fun i run -> (i, run)) runs)
-        |> List.sort compare
-      in
-      let rmw_all = List.concat_map (fun r -> r.r_rmw) runs in
-      let data =
-        Rel.of_list (List.concat_map (fun r -> r.r_data) runs)
-      in
-      let ctrl =
-        Rel.of_list (List.concat_map (fun r -> r.r_ctrl) runs)
-      in
-      let writes_of loc =
-        List.filter
-          (fun (e : E.t) -> E.is_write e && E.loc e = Some loc)
-          events
-      in
+          (fun acc (w' : E.t) ->
+            if E.is_init w' then acc else Rel.add w.id w'.id acc)
+          acc ws
+      else acc)
+    Rel.empty ws
+
+let candidates (p : Ast.prog) =
+  List.concat_map
+    (fun c ->
+      let events = c.c_events in
       (* rf choices per read *)
       let reads = List.filter E.is_read events in
       let rf_choices =
@@ -267,7 +317,7 @@ let candidates (p : Ast.prog) =
             let srcs =
               List.filter
                 (fun (w : E.t) -> E.value w = Some v && w.id <> rd.id)
-                (writes_of loc)
+                (writes_of events loc)
             in
             List.map (fun (w : E.t) -> (w.id, rd.id)) srcs)
           reads
@@ -276,25 +326,13 @@ let candidates (p : Ast.prog) =
       else
         let rfs = cartesian rf_choices in
         (* co choices per location *)
-        let locs = Ast.locations p in
         let co_choices =
           List.map
             (fun loc ->
-              let ws = writes_of loc in
+              let ws = writes_of events loc in
               let ids = Iset.of_list (List.map (fun (e : E.t) -> e.id) ws) in
-              let constraints =
-                List.fold_left
-                  (fun acc (w : E.t) ->
-                    if E.is_init w then
-                      List.fold_left
-                        (fun acc (w' : E.t) ->
-                          if E.is_init w' then acc else Rel.add w.id w'.id acc)
-                        acc ws
-                    else acc)
-                  Rel.empty ws
-              in
-              Rel.linear_extensions ids constraints)
-            locs
+              Rel.linear_extensions_memoized ids (init_first_constraints ws))
+            (Ast.locations p)
         in
         let cos = cartesian co_choices in
         List.concat_map
@@ -303,55 +341,171 @@ let candidates (p : Ast.prog) =
             List.map
               (fun co_parts ->
                 let co = Rel.union_all co_parts in
-                let pick k =
-                  List.fold_left
-                    (fun acc (r, w, kind) ->
-                      if k kind then Rel.add r w acc else acc)
-                    Rel.empty rmw_all
-                in
-                let x =
-                  {
-                    X.events;
-                    po;
-                    rf;
-                    co;
-                    rmw_plain =
-                      pick (function
-                        | Ast.Rmw_x86 | Ast.Rmw_tcg -> true
-                        | Ast.Rmw_arm _ -> false);
-                    amo =
-                      pick (function
-                        | Ast.Rmw_arm { impl = Ast.Amo; _ } -> true
-                        | _ -> false);
-                    lxsx =
-                      pick (function
-                        | Ast.Rmw_arm { impl = Ast.Lxsx; _ } -> true
-                        | _ -> false);
-                    data;
-                    ctrl;
-                    addr = Rel.empty;
-                  }
-                in
-                (x, regs))
+                (execution_of_combo c ~rf ~co, c.c_regs))
               cos)
           rfs)
-    combos
+    (combos p)
+
+(* ------------------------------------------------------------------ *)
+(* Pruned enumeration                                                  *)
+
+(* The full rf × co product above is what the docs describe, but most of
+   it dies on the first two axioms every model shares (Model.common):
+   per-location coherence and RMW atomicity.  Both are per-location
+   properties — po-loc, rf, co and fr only ever relate same-location
+   events, so any violating cycle lives inside one location.  The pruned
+   enumerator therefore filters (rf, co) pairs per location first and
+   takes the cross-location product over survivors only, which collapses
+   the search space from Π(rf_l × co_l) to Π(survivors_l).
+
+   Soundness: a candidate pruned here fails sc-per-loc or atomicity and
+   would be rejected by any model whose consistency implies Model.common
+   — which every model in lib/axiom does (their [consistent] starts with
+   [Model.common x]).  The surviving candidates still go through the
+   model's full predicate, so verdicts are identical to the unpruned
+   path. *)
+
+(* Per-location surviving (rf, co) pairs, or None if some read of the
+   location has no value-compatible source (the whole combo is dead). *)
+let per_loc_survivors c loc =
+  let events = c.c_events in
+  let ws = writes_of events loc in
+  let rds =
+    List.filter (fun (e : E.t) -> E.is_read e && E.loc e = Some loc) events
+  in
+  let wids = Iset.of_list (List.map (fun (e : E.t) -> e.id) ws) in
+  let mem_ids =
+    Iset.union wids (Iset.of_list (List.map (fun (e : E.t) -> e.id) rds))
+  in
+  let po_ll = Rel.restrict mem_ids c.c_po mem_ids in
+  let rf_choices =
+    List.map
+      (fun (rd : E.t) ->
+        let v = Option.get (E.value rd) in
+        List.filter_map
+          (fun (w : E.t) ->
+            if E.value w = Some v && w.id <> rd.id then Some (w.id, rd.id)
+            else None)
+          ws)
+      rds
+  in
+  if List.exists (fun l -> l = []) rf_choices then None
+  else
+    let tids = Hashtbl.create 16 in
+    List.iter
+      (fun (e : E.t) -> Hashtbl.replace tids e.id (e.tid, E.is_init e))
+      events;
+    (* Execution.internal: same tid and the source event is not an init
+       write.  Mirrored here so per-location atomicity agrees with the
+       global axiom. *)
+    let external_part r =
+      Rel.filter
+        (fun a b ->
+          let ta, ia = Hashtbl.find tids a and tb, _ = Hashtbl.find tids b in
+          not (ta = tb && not ia))
+        r
+    in
+    let rmw_l =
+      List.fold_left
+        (fun acc (r, w, _) -> if Iset.mem r mem_ids then Rel.add r w acc else acc)
+        Rel.empty c.c_rmw
+    in
+    let cos = Rel.linear_extensions_memoized wids (init_first_constraints ws) in
+    let survivors =
+      List.concat_map
+        (fun rf_pairs ->
+          let rf = Rel.of_list rf_pairs in
+          List.filter_map
+            (fun co ->
+              let fr = Rel.compose (Rel.inverse rf) co in
+              if not (Rel.acyclic (Rel.union_all [ po_ll; rf; co; fr ])) then
+                None
+              else if
+                (not (Rel.is_empty rmw_l))
+                && not
+                     (Rel.is_empty
+                        (Rel.inter rmw_l
+                           (Rel.compose (external_part fr) (external_part co))))
+              then None
+              else Some (rf, co))
+            cos)
+        (cartesian rf_choices)
+    in
+    Some survivors
+
+(* Fold [f] over the model-consistent executions of [p], enumerating
+   with per-location pruning. *)
+let fold_consistent (m : Axiom.Model.t) p f acc =
+  let locs = Ast.locations p in
+  List.fold_left
+    (fun acc c ->
+      let per_loc = List.map (per_loc_survivors c) locs in
+      if List.exists (fun s -> s = None || s = Some []) per_loc then acc
+      else
+        let parts = List.map Option.get per_loc in
+        List.fold_left
+          (fun acc choice ->
+            let rf = Rel.union_all (List.map fst choice) in
+            let co = Rel.union_all (List.map snd choice) in
+            let x = execution_of_combo c ~rf ~co in
+            if m.Axiom.Model.consistent x then f acc x c.c_regs else acc)
+          acc (cartesian parts))
+    acc (combos p)
 
 let executions (m : Axiom.Model.t) p =
-  List.filter_map
-    (fun (x, _) -> if m.Axiom.Model.consistent x then Some x else None)
-    (candidates p)
+  List.rev (fold_consistent m p (fun acc x _ -> x :: acc) [])
 
-let behaviours (m : Axiom.Model.t) p =
+(* ------------------------------------------------------------------ *)
+(* Behaviours cache                                                    *)
+
+(* [behaviours] is the refinement checker's inner loop, and sweeps ask
+   for the same (model, program) pair repeatedly: [Check.refines]
+   re-enumerates the unchanged source program for every fence-deletion
+   variant of the target, and every scheme shares corpus sources.  The
+   cache is keyed by the model's name and the full program AST
+   (structural equality — the program is its own hash key, so renamed
+   variants never collide), and is domain-safe: lookups and inserts are
+   mutex-guarded, while enumeration runs outside the lock (two domains
+   may race to compute the same entry; both compute the same value). *)
+let behaviours_cache : (string * Ast.prog, behaviour list) Hashtbl.t =
+  Hashtbl.create 64
+
+let behaviours_mutex = Mutex.create ()
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+
+let behaviours_uncached (m : Axiom.Model.t) p =
   let bs =
-    List.filter_map
-      (fun (x, regs) ->
-        if m.Axiom.Model.consistent x then
-          Some { mem = X.behaviour x; regs }
-        else None)
-      (candidates p)
+    fold_consistent m p
+      (fun acc x regs -> { mem = X.behaviour x; regs } :: acc)
+      []
   in
   List.sort_uniq behaviour_compare bs
+
+let behaviours (m : Axiom.Model.t) p =
+  let key = (m.Axiom.Model.name, p) in
+  let cached =
+    Mutex.protect behaviours_mutex (fun () ->
+        Hashtbl.find_opt behaviours_cache key)
+  in
+  match cached with
+  | Some bs ->
+      Atomic.incr cache_hits;
+      bs
+  | None ->
+      Atomic.incr cache_misses;
+      let bs = behaviours_uncached m p in
+      Mutex.protect behaviours_mutex (fun () ->
+          Hashtbl.replace behaviours_cache key bs);
+      bs
+
+let cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
+
+let clear_caches () =
+  Mutex.protect behaviours_mutex (fun () -> Hashtbl.reset behaviours_cache);
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0;
+  Rel.clear_memo ()
 
 let rec eval_cond (c : Ast.cond) b =
   match c with

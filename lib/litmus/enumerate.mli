@@ -31,12 +31,30 @@ val universe : Ast.prog -> int list
     thread-local register valuations of the runs that produced them. *)
 val candidates : Ast.prog -> (Axiom.Execution.t * ((int * string) * int) list) list
 
-(** Consistent executions under a model. *)
+(** Consistent executions under a model.
+
+    Unlike {!candidates}, the consistent-execution path enumerates with
+    per-location pruning: (rf, co) choices that violate per-location
+    coherence or RMW atomicity are rejected before the cross-location
+    product is taken.  This assumes the model's consistency predicate
+    implies [Axiom.Model.common] — true of every model in [lib/axiom] —
+    and produces exactly the executions the unpruned path would keep. *)
 val executions : Axiom.Model.t -> Ast.prog -> Axiom.Execution.t list
 
 (** The set of behaviours of the consistent executions, deduplicated and
-    sorted. *)
+    sorted.  Uses the pruned enumeration (see {!executions}) and a
+    process-wide, domain-safe cache keyed by (model name, program AST):
+    within one run, the same (model, program) pair is enumerated once.
+    Distinct models must therefore carry distinct names (they do). *)
 val behaviours : Axiom.Model.t -> Ast.prog -> behaviour list
+
+(** [(hits, misses)] of the behaviours cache since start/last clear. *)
+val cache_stats : unit -> int * int
+
+(** Empty the behaviours cache and the linear-extension memo
+    ({!Relalg.Rel.clear_memo}) — for cold-start benchmarking and
+    bounding memory in long-running processes. *)
+val clear_caches : unit -> unit
 
 val eval_cond : Ast.cond -> behaviour -> bool
 

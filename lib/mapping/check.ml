@@ -24,12 +24,17 @@ let refines ~src_model ~tgt_model ~src ~tgt =
     extra;
   }
 
-let check_scheme ~name f ~src_model ~tgt_model corpus =
-  List.map
-    (fun (tname, src) ->
-      let tgt = f src in
-      let r = refines ~src_model ~tgt_model ~src ~tgt in
-      { r with name = Printf.sprintf "%s: %s" name tname })
+let check_one ~name ~src_model ~tgt_model f (tname, src) =
+  let tgt = f src in
+  let r = refines ~src_model ~tgt_model ~src ~tgt in
+  { r with name = Printf.sprintf "%s: %s" name tname }
+
+let check_scheme_safe ?pool ~name f ~src_model ~tgt_model corpus =
+  Parallel.Pool.map_safe ?pool (check_one ~name ~src_model ~tgt_model f) corpus
+
+let check_scheme ?pool ~name f ~src_model ~tgt_model corpus =
+  Parallel.Pool.map_list ?pool
+    (check_one ~name ~src_model ~tgt_model f)
     corpus
 
 let all_ok = List.for_all (fun r -> r.ok)

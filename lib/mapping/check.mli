@@ -24,14 +24,31 @@ val refines :
   report
 
 (** [check_scheme ~name f ~src_model ~tgt_model corpus] maps every
-    corpus program through [f] and checks refinement. *)
+    corpus program through [f] and checks refinement.  With [?pool], the
+    corpus programs are checked in parallel (one pool task per program);
+    the report list is identical — contents and order — to the
+    sequential sweep. *)
 val check_scheme :
+  ?pool:Parallel.Pool.t ->
   name:string ->
   (Litmus.Ast.prog -> Litmus.Ast.prog) ->
   src_model:Axiom.Model.t ->
   tgt_model:Axiom.Model.t ->
   (string * Litmus.Ast.prog) list ->
   report list
+
+(** Like {!check_scheme}, but a program whose check raises yields a
+    typed per-task [Error fault] (carrying the original exception)
+    instead of aborting the sweep — one diverging corpus entry cannot
+    take the other verdicts down with it. *)
+val check_scheme_safe :
+  ?pool:Parallel.Pool.t ->
+  name:string ->
+  (Litmus.Ast.prog -> Litmus.Ast.prog) ->
+  src_model:Axiom.Model.t ->
+  tgt_model:Axiom.Model.t ->
+  (string * Litmus.Ast.prog) list ->
+  (report, Parallel.Pool.fault) result list
 
 val all_ok : report list -> bool
 val pp_report : Format.formatter -> report -> unit

@@ -48,14 +48,15 @@ let delete_fence (p : prog) n =
 
 type site = { index : int; fence : Axiom.Event.fence; necessary : bool }
 
-let necessary_fences f ~src_model ~tgt_model src =
+let necessary_fences ?pool f ~src_model ~tgt_model src =
   let tgt = f src in
-  List.mapi
-    (fun index fence ->
+  let sites = List.mapi (fun index fence -> (index, fence)) (fences tgt) in
+  Parallel.Pool.map_list ?pool
+    (fun (index, fence) ->
       let weakened = delete_fence tgt index in
       let r = Check.refines ~src_model ~tgt_model ~src ~tgt:weakened in
       { index; fence; necessary = not r.Check.ok })
-    (fences tgt)
+    sites
 
 let pp_site ppf s =
   Fmt.pf ppf "fence %d (%a): %s" s.index Axiom.Event.pp_fence s.fence

@@ -17,8 +17,11 @@ val delete_fence : Litmus.Ast.prog -> int -> Litmus.Ast.prog
 type site = { index : int; fence : Axiom.Event.fence; necessary : bool }
 
 (** For each fence of the mapped program [f src], is it necessary for
-    [refines ~src ~tgt]? *)
+    [refines ~src ~tgt]?  With [?pool], the per-fence deletion checks
+    run in parallel; the site list is identical to the sequential
+    sweep's. *)
 val necessary_fences :
+  ?pool:Parallel.Pool.t ->
   (Litmus.Ast.prog -> Litmus.Ast.prog) ->
   src_model:Axiom.Model.t ->
   tgt_model:Axiom.Model.t ->

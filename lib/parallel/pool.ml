@@ -1,0 +1,224 @@
+type fault = { index : int; exn : exn; backtrace : string }
+
+exception Task_failed of fault
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed f ->
+        Some
+          (Printf.sprintf "task %d failed: %s" f.index
+             (Printexc.to_string f.exn))
+    | _ -> None)
+
+(* A batch of tasks being distributed: workers pull indices from [next]
+   until it passes [n]; the worker completing the last task ([remaining]
+   hitting 0) signals the submitter. [gen] lets a worker tell a fresh
+   batch from the one it already drained. *)
+type batch = {
+  gen : int;
+  run : int -> unit;  (* must not raise *)
+  n : int;
+  next : int Atomic.t;
+  remaining : int Atomic.t;
+}
+
+type t = {
+  jobs : int;
+  mutable workers : unit Domain.t list;
+  m : Mutex.t;
+  have_work : Condition.t;
+  finished : Condition.t;
+  mutable batch : batch option;
+  mutable gen : int;
+  mutable stopped : bool;
+  submit : Mutex.t;  (* serialises concurrent [map] calls *)
+}
+
+(* True while this domain is executing pool tasks or submitting a batch:
+   a nested [map] must run sequentially instead of deadlocking on
+   [submit] or starving the batch it is part of. *)
+let busy : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let drain t b =
+  let rec go () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.n then begin
+      b.run i;
+      if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+        Mutex.lock t.m;
+        Condition.broadcast t.finished;
+        Mutex.unlock t.m
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let worker t =
+  let flag = Domain.DLS.get busy in
+  flag := true;
+  let last = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    let rec await () =
+      if t.stopped then None
+      else
+        match t.batch with
+        | Some b when b.gen <> !last -> Some b
+        | _ ->
+            Condition.wait t.have_work t.m;
+            await ()
+    in
+    let next = await () in
+    Mutex.unlock t.m;
+    match next with
+    | None -> ()
+    | Some b ->
+        last := b.gen;
+        drain t b;
+        loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t =
+    {
+      jobs;
+      workers = [];
+      m = Mutex.create ();
+      have_work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      gen = 0;
+      stopped = false;
+      submit = Mutex.create ();
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopped <- true;
+  Condition.broadcast t.have_work;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let run_task f arr results i =
+  let r =
+    try Ok (f arr.(i))
+    with exn ->
+      let backtrace =
+        Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+      in
+      Error { index = i; exn; backtrace }
+  in
+  results.(i) <- Some r
+
+let map_seq f xs =
+  List.mapi
+    (fun index x ->
+      try Ok (f x)
+      with exn ->
+        let backtrace =
+          Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+        in
+        Error { index; exn; backtrace })
+    xs
+
+let map t f xs =
+  let n = List.length xs in
+  let flag = Domain.DLS.get busy in
+  if t.jobs <= 1 || n <= 1 || t.stopped || !flag then map_seq f xs
+  else begin
+    let arr = Array.of_list xs in
+    let results = Array.make n None in
+    flag := true;
+    Fun.protect
+      ~finally:(fun () -> flag := false)
+      (fun () ->
+        Mutex.lock t.submit;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.submit)
+          (fun () ->
+            Mutex.lock t.m;
+            t.gen <- t.gen + 1;
+            let b =
+              {
+                gen = t.gen;
+                run = run_task f arr results;
+                n;
+                next = Atomic.make 0;
+                remaining = Atomic.make n;
+              }
+            in
+            t.batch <- Some b;
+            Condition.broadcast t.have_work;
+            Mutex.unlock t.m;
+            (* The caller is a worker too. *)
+            drain t b;
+            Mutex.lock t.m;
+            while Atomic.get b.remaining > 0 do
+              Condition.wait t.finished t.m
+            done;
+            t.batch <- None;
+            Mutex.unlock t.m));
+    Array.to_list (Array.map Option.get results)
+  end
+
+let reraise_first results =
+  List.map
+    (function
+      | Ok y -> y
+      | Error f ->
+          (* Mirror the sequential path: surface the original exception. *)
+          raise f.exn)
+    results
+
+let map_exn t f xs = reraise_first (map t f xs)
+
+let map_list ?pool f xs =
+  match pool with None -> List.map f xs | Some t -> map_exn t f xs
+
+let map_safe ?pool f xs =
+  match pool with None -> map_seq f xs | Some t -> map t f xs
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Default pool                                                        *)
+
+let default_guard = Mutex.create ()
+let default_jobs : int option ref = ref None
+let default_pool : t option ref = ref None
+
+let default () =
+  Mutex.lock default_guard;
+  let t =
+    match !default_pool with
+    | Some t -> t
+    | None ->
+        let t = create ?jobs:!default_jobs () in
+        default_pool := Some t;
+        t
+  in
+  Mutex.unlock default_guard;
+  t
+
+let set_default_jobs j =
+  Mutex.lock default_guard;
+  default_jobs := Some (max 1 j);
+  (match !default_pool with Some t -> shutdown t | None -> ());
+  default_pool := None;
+  Mutex.unlock default_guard

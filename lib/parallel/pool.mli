@@ -1,0 +1,80 @@
+(** A reusable Domain-based work pool for embarrassingly parallel sweeps.
+
+    The refinement checker's workloads (corpus × scheme sweeps, per-fence
+    minimality deletions, figure cells, litmus files) are lists of small
+    independent pure tasks.  A pool owns [jobs - 1] worker domains (the
+    caller is the remaining worker) that pull task indices from a shared
+    atomic counter, so scheduling cost per task is a couple of atomic
+    operations and results land in an index-addressed array:
+
+    - {b deterministic ordering}: [map] returns results in input order,
+      whatever interleaving the domains ran with;
+    - {b fault isolation}: a task that raises yields a typed per-task
+      {!fault} carrying the original exception and its backtrace instead
+      of tearing down the whole sweep (the pool-level analogue of
+      [Core.Fault]'s per-thread trap states);
+    - {b nesting safety}: a [map] issued from inside a pool task (or
+      reentrantly from the same domain) degrades to the sequential path
+      rather than deadlocking, so parallel consumers can freely call
+      other parallel consumers.
+
+    Pools are cheap to keep around; create one per process (or use
+    {!default}) and reuse it across sweeps. *)
+
+type t
+
+(** A captured task failure: [index] is the position of the failing task
+    in the input list, [exn] the original exception, [backtrace] its
+    (possibly empty) captured backtrace. *)
+type fault = { index : int; exn : exn; backtrace : string }
+
+exception Task_failed of fault
+
+(** [create ~jobs ()] spawns a pool of [jobs] workers ([jobs - 1]
+    domains plus the calling domain).  Defaults to
+    [Domain.recommended_domain_count ()].  [jobs <= 1] yields a
+    sequential pool that runs every task on the caller. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** Join the worker domains.  The pool must not be used afterwards. *)
+val shutdown : t -> unit
+
+(** [map pool f xs] applies [f] to every element of [xs], in parallel,
+    returning per-task results in input order.  Never raises for a
+    failing task. *)
+val map : t -> ('a -> 'b) -> 'a list -> ('b, fault) result list
+
+(** Like {!map} but re-raises (at the call site) the original exception
+    of the lowest-index faulty task, mirroring what the sequential
+    [List.map] would have raised first. *)
+val map_exn : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_list ?pool f xs] is [List.map f xs] when [pool] is [None] and
+    [map_exn pool f xs] otherwise — the one-liner consumers use to make
+    parallelism opt-in without duplicating the sequential path. *)
+val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Fault-capturing variant of {!map_list}: per-task results in input
+    order, faults captured rather than raised, sequential when [pool] is
+    [None]. *)
+val map_safe : ?pool:t -> ('a -> 'b) -> 'a list -> ('b, fault) result list
+
+(** [with_pool ?jobs f] runs [f] with a fresh pool and always shuts it
+    down. *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+
+(** {1 Default pool}
+
+    A lazily created process-wide pool, sized by
+    {!set_default_jobs} (e.g. from a [-j] flag) or
+    [Domain.recommended_domain_count].  *)
+
+(** The shared default pool, created on first use. *)
+val default : unit -> t
+
+(** Set the size of the default pool.  Shuts down a previously created
+    default pool; subsequent {!default} calls return a pool of the new
+    size. *)
+val set_default_jobs : int -> unit

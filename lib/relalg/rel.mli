@@ -80,6 +80,19 @@ val is_strict_total_order_on : Iset.t -> t -> bool
     cyclic on [s].  Exponential: intended for litmus-sized sets. *)
 val linear_extensions : Iset.t -> t -> t list
 
+(** [linear_extensions_memoized s r] is [linear_extensions s r] backed
+    by a process-wide, domain-safe memo table keyed by
+    [(s, r restricted to s)].  The coherence enumerator asks for the
+    extensions of the same per-location write set once per candidate
+    combination; the memo collapses those to one computation.  Entries
+    live until {!clear_memo}. *)
+val linear_extensions_memoized : Iset.t -> t -> t list
+
+(** Drop every memoized linear-extension result (used by benchmarks to
+    measure cold-start behaviour, and by long-running processes to bound
+    memory). *)
+val clear_memo : unit -> unit
+
 (** [immediate r] keeps only pairs with no intermediate element:
     [(x, y) ∈ r] such that there is no [z] with [(x, z) ∈ r] and
     [(z, y) ∈ r]. *)

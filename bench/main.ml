@@ -365,6 +365,180 @@ let refinement_bench ~jobs ~reps ~out () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Dispatch bench: chained vs unchained vs interp → BENCH_dispatch.json *)
+
+(* One pass over the PARSEC/Phoenix kernels under a config, recording
+   per-kernel result fingerprints (final registers + memory) alongside
+   cycle and dispatch statistics.  Results are deterministic; wall time
+   is the best of [reps] passes. *)
+let dispatch_pass config =
+  List.map
+    (fun b ->
+      let spec = b.Harness.Parsec.spec in
+      let g, eng = Harness.Kernel.run_dbt config spec in
+      let stats = Core.Engine.stats eng in
+      ( spec.Harness.Kernel.name,
+        (* Guest-visible state only: registers RAX..R15 (indices 0-15;
+           higher indices are host scratch registers, which legitimately
+           differ between backend code and the interpreter). *)
+        Array.sub g.Core.Engine.arm.Arm.Machine.regs 0 16,
+        Memsys.Mem.dump (Core.Engine.memory eng),
+        Core.Engine.cycles g,
+        stats ))
+    Harness.Parsec.all
+
+let dispatch_bench ~reps ~out () =
+  section
+    (Printf.sprintf
+       "Dispatch bench: chained vs unchained vs interp (%d kernels, best of \
+        %d)"
+       (List.length Harness.Parsec.all)
+       reps);
+  let risotto = Core.Config.risotto in
+  let chained =
+    { risotto with Core.Config.name = "risotto"; trace_threshold = 16 }
+  in
+  let unchained = { risotto with Core.Config.chain = false } in
+  let interp =
+    (* Force every block onto the TCG interpreter: the no-JIT baseline. *)
+    {
+      risotto with
+      Core.Config.chain = false;
+      inject = [ Core.Inject.Always Core.Inject.Compile ];
+    }
+  in
+  let time config =
+    let best = ref infinity in
+    let results = ref [] in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = dispatch_pass config in
+      let dt = Unix.gettimeofday () -. t0 in
+      results := r;
+      if dt < !best then best := dt
+    done;
+    (!best, !results)
+  in
+  let chained_s, chained_r = time chained in
+  let unchained_s, unchained_r = time unchained in
+  let interp_s, interp_r = time interp in
+  let sum f results =
+    List.fold_left (fun acc (_, _, _, _, s) -> acc + f s) 0 results
+  in
+  let cycles results =
+    List.fold_left (fun acc (_, _, _, c, _) -> acc + c) 0 results
+  in
+  let c_cycles = cycles chained_r and u_cycles = cycles unchained_r in
+  let c_exec = sum (fun s -> s.Core.Engine.blocks_executed) chained_r in
+  let u_exec = sum (fun s -> s.Core.Engine.blocks_executed) unchained_r in
+  (* Unchained dispatches once per guest block, so [u_exec] is the true
+     guest-block count; both runs execute the same guest blocks (parity
+     is asserted below), a chained dispatch just covers a whole trace.
+     Cycles-per-block therefore compares guest cycles over the same
+     denominator, and the dispatch counts show the amortization. *)
+  let guest_blocks = u_exec in
+  let cpb c =
+    if guest_blocks = 0 then 0.0
+    else float_of_int c /. float_of_int guest_blocks
+  in
+  let c_cpb = cpb c_cycles and u_cpb = cpb u_cycles in
+  let chained_edges = sum (fun s -> s.Core.Engine.chained) chained_r in
+  let chain_hits = sum (fun s -> s.Core.Engine.chain_hits) chained_r in
+  let jcache_hits = sum (fun s -> s.Core.Engine.jmp_cache_hits) chained_r in
+  let superblocks = sum (fun s -> s.Core.Engine.superblocks) chained_r in
+  let lookups = sum (fun s -> s.Core.Engine.lookups) chained_r in
+  let interp_fb = sum (fun s -> s.Core.Engine.interp_fallbacks) interp_r in
+  let chain_hit_rate =
+    if lookups = 0 then 0.0 else float_of_int chain_hits /. float_of_int lookups
+  in
+  (* Result parity: chained, unchained and interp runs must agree on
+     every kernel's final registers and memory. *)
+  let parity =
+    List.for_all2
+      (fun (n1, r1, m1, _, _) (n2, r2, m2, _, _) ->
+        n1 = n2 && r1 = r2 && m1 = m2)
+      chained_r unchained_r
+    && List.for_all2
+         (fun (n1, r1, m1, _, _) (n2, r2, m2, _, _) ->
+           n1 = n2 && r1 = r2 && m1 = m2)
+         unchained_r interp_r
+  in
+  Format.printf
+    "  wall: chained %.3fs, unchained %.3fs, interp %.3fs@.  guest cycles: \
+     chained %d, unchained %d (%.2f%% saved by cross-block optimization)@.  \
+     cycles/block over %d guest blocks: chained %.2f, unchained %.2f@.  \
+     dispatches: chained %d, unchained %d (%.1fx fewer)@.  chained stats: %d \
+     edges patched, %d chain hits, %d jcache hits, %d superblocks, chain-hit \
+     rate %.1f%%@.  interp fallbacks (forced): %d@.  results identical: %b@."
+    chained_s unchained_s interp_s c_cycles u_cycles
+    (100. *. (1. -. (float_of_int c_cycles /. float_of_int u_cycles)))
+    guest_blocks c_cpb u_cpb c_exec u_exec
+    (float_of_int u_exec /. float_of_int (max 1 c_exec))
+    chained_edges chain_hits jcache_hits superblocks (100. *. chain_hit_rate)
+    interp_fb parity;
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  "bench": "dispatch: chained vs unchained vs interp",
+  "kernels": %d,
+  "reps": %d,
+  "trace_threshold": %d,
+  "guest_blocks": %d,
+  "chained": {
+    "wall_s": %.6f,
+    "cycles": %d,
+    "dispatches": %d,
+    "cycles_per_block": %.3f,
+    "edges_patched": %d,
+    "chain_hits": %d,
+    "jmp_cache_hits": %d,
+    "superblocks": %d,
+    "chain_hit_rate": %.4f
+  },
+  "unchained": {
+    "wall_s": %.6f,
+    "cycles": %d,
+    "dispatches": %d,
+    "cycles_per_block": %.3f
+  },
+  "interp": {
+    "wall_s": %.6f,
+    "interp_fallbacks": %d
+  },
+  "cycles_per_block_ratio": %.4f,
+  "dispatch_reduction": %.2f,
+  "results_identical": %b
+}
+|}
+    (List.length Harness.Parsec.all)
+    reps chained.Core.Config.trace_threshold guest_blocks chained_s c_cycles
+    c_exec c_cpb chained_edges chain_hits jcache_hits superblocks
+    chain_hit_rate unchained_s u_cycles u_exec u_cpb interp_s interp_fb
+    (if u_cpb = 0.0 then 0.0 else c_cpb /. u_cpb)
+    (float_of_int u_exec /. float_of_int (max 1 c_exec))
+    parity;
+  close_out oc;
+  Format.printf "  wrote %s@." out;
+  if not parity then begin
+    Format.eprintf "dispatch bench: chained/unchained results diverge!@.";
+    exit 2
+  end;
+  (* The deterministic acceptance gates: superblocks must fire, every
+     dispatch metric must improve, and cross-block optimization must
+     not cost guest cycles. *)
+  if superblocks = 0 || chain_hits = 0 then begin
+    Format.eprintf "dispatch bench: chaining/superblocks did not engage!@.";
+    exit 2
+  end;
+  if c_cycles >= u_cycles || c_exec >= u_exec then begin
+    Format.eprintf
+      "dispatch bench: chained dispatch did not beat unchained (%.3f vs %.3f \
+       cycles/block, %d vs %d dispatches)!@."
+      c_cpb u_cpb c_exec u_exec;
+    exit 2
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Section dispatch                                                    *)
 
 type opts = {
@@ -372,6 +546,7 @@ type opts = {
   jobs : int;
   reps : int;
   out : string;
+  dispatch_out : string;
 }
 
 let canonical = function
@@ -382,17 +557,18 @@ let canonical = function
   | "ablations" -> Some "ablations"
   | "bechamel" -> Some "bechamel"
   | "refinement" | "bench-json" -> Some "refinement"
+  | "dispatch" -> Some "dispatch"
   | _ -> None
 
 let all_sections =
   [ "tables"; "sec3"; "minimality"; "figures"; "ablations"; "bechamel";
-    "refinement" ]
+    "refinement"; "dispatch" ]
 
 let usage () =
   Format.eprintf
     "usage: main.exe [SECTION...] [-j N] [--reps N] [-o FILE] \
-     [--no-bechamel]@.sections: fig2 fig3 fig7 sec3 fig8 fig9 fig12..fig15 \
-     ablations bechamel refinement@.";
+     [--dispatch-out FILE] [--no-bechamel]@.sections: fig2 fig3 fig7 sec3 \
+     fig8 fig9 fig12..fig15 ablations bechamel refinement dispatch@.";
   exit 1
 
 let parse_args () =
@@ -401,6 +577,7 @@ let parse_args () =
   let jobs = ref (Domain.recommended_domain_count ()) in
   let reps = ref 3 in
   let out = ref "BENCH_refinement.json" in
+  let dispatch_out = ref "BENCH_dispatch.json" in
   let rec go = function
     | [] -> ()
     | "--no-bechamel" :: rest ->
@@ -419,6 +596,9 @@ let parse_args () =
     | "-o" :: path :: rest ->
         out := path;
         go rest
+    | "--dispatch-out" :: path :: rest ->
+        dispatch_out := path;
+        go rest
     | s :: rest -> (
         match canonical s with
         | Some c ->
@@ -435,10 +615,16 @@ let parse_args () =
           all_sections
     | chosen -> chosen
   in
-  { sections; jobs = !jobs; reps = !reps; out = !out }
+  {
+    sections;
+    jobs = !jobs;
+    reps = !reps;
+    out = !out;
+    dispatch_out = !dispatch_out;
+  }
 
 let () =
-  let { sections; jobs; reps; out } = parse_args () in
+  let { sections; jobs; reps; out; dispatch_out } = parse_args () in
   let pool = if jobs > 1 then Some (Parallel.Pool.create ~jobs ()) else None in
   List.iter
     (fun s ->
@@ -450,6 +636,7 @@ let () =
       | "ablations" -> ablations ()
       | "bechamel" -> bechamel_benches ()
       | "refinement" -> refinement_bench ~jobs ~reps ~out ()
+      | "dispatch" -> dispatch_bench ~reps ~out:dispatch_out ()
       | _ -> assert false)
     sections;
   (match pool with Some p -> Parallel.Pool.shutdown p | None -> ());

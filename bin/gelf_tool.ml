@@ -61,7 +61,7 @@ let dis path =
   go image.Image.Gelf.text_base;
   0
 
-let run path config_name trace inject =
+let run path config_name trace inject no_chain trace_threshold =
   if trace then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.Src.set_level Core.Engine.log_src (Some Logs.Debug)
@@ -77,7 +77,14 @@ let run path config_name trace inject =
           Format.eprintf "bad --inject plan: %s@." msg;
           1
       | Ok plan ->
-          let config = { config with Core.Config.inject = plan } in
+          let config =
+            {
+              config with
+              Core.Config.inject = plan;
+              chain = config.Core.Config.chain && not no_chain;
+              trace_threshold;
+            }
+          in
           let image = Image.Gelf.load path in
           let eng = Core.Engine.create config image in
           let g = Core.Engine.run eng in
@@ -86,11 +93,15 @@ let run path config_name trace inject =
             print_string (Buffer.contents arm.Arm.Machine.output);
           let stats = Core.Engine.stats eng in
           Format.printf
-            "[%s] exit=%Ld cycles=%d insns=%d fences=%d blocks=%d chained=%d \
-             rax=%Ld@."
+            "[%s] exit=%Ld cycles=%d insns=%d fences=%d blocks=%d \
+             executed=%d chained=%d chain-hits=%d jcache-hits=%d \
+             superblocks=%d rax=%Ld@."
             config.Core.Config.name arm.Arm.Machine.exit_code
             (Core.Engine.cycles g) arm.Arm.Machine.insns arm.Arm.Machine.fences
-            stats.Core.Engine.blocks_translated stats.Core.Engine.chained
+            stats.Core.Engine.blocks_translated
+            stats.Core.Engine.blocks_executed stats.Core.Engine.chained
+            stats.Core.Engine.chain_hits stats.Core.Engine.jmp_cache_hits
+            stats.Core.Engine.superblocks
             (Core.Engine.reg g R.RAX);
           if stats.Core.Engine.interp_fallbacks > 0 then
             Format.printf "degraded: %d block(s) ran on the TCG interpreter@."
@@ -153,9 +164,32 @@ let inject_arg =
            SITE one of decode, compile, host-call, cache-read — e.g. \
            $(b,nth:compile:1,seeded:host-call:42:250).")
 
+let no_chain_arg =
+  Arg.(
+    value & flag
+    & info [ "no-chain" ]
+        ~doc:
+          "Disable translation-block chaining (and the superblock \
+           machinery that depends on it): every block exit resolves \
+           through the dispatch caches instead of a patched edge.  \
+           Results and guest cycles are unchanged; only dispatch work \
+           differs.")
+
+let trace_threshold_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace-threshold" ] ~docv:"N"
+        ~doc:
+          "Stitch hot traces into superblocks once a block has executed \
+           $(docv) times, re-running the optimizer pipeline across the \
+           former block boundaries.  0 (default) disables superblock \
+           formation.")
+
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run an image under the DBT")
-    Term.(const run $ path_arg $ config_arg $ trace_arg $ inject_arg)
+    Term.(
+      const run $ path_arg $ config_arg $ trace_arg $ inject_arg
+      $ no_chain_arg $ trace_threshold_arg)
 
 let () =
   exit

@@ -8,6 +8,8 @@ type t = {
   rmw : rmw_strategy;
   host_linker : bool;
   inject : Inject.plan;
+  chain : bool;
+  trace_threshold : int;
 }
 
 let qemu =
@@ -18,6 +20,8 @@ let qemu =
     rmw = Helper `Gcc10;
     host_linker = false;
     inject = [];
+    chain = true;
+    trace_threshold = 0;
   }
 
 let no_fences = { qemu with name = "no-fences"; fences = No_fences }

@@ -22,6 +22,19 @@ type t = {
   rmw : rmw_strategy;
   host_linker : bool;
   inject : Inject.plan;  (** fault-injection plan; [[]] in all presets *)
+  chain : bool;
+      (** patch static block exits into direct block-to-block jumps
+          (QEMU-style TB chaining).  Chaining executes exactly the same
+          translated code in the same order, so results and guest
+          cycles are unchanged; [false] gives the unchained dispatch
+          baseline.  On in all presets. *)
+  trace_threshold : int;
+      (** hot-trace superblocks: once a block has executed this many
+          times, stitch its hottest chain of blocks into one superblock
+          and re-run the optimizer pipeline across the former block
+          boundaries.  [0] (the default in all presets) disables
+          superblock formation; requires [chain] since traces are
+          discovered through patched-edge hit counts. *)
 }
 
 (** Vanilla Qemu 6.1.0. *)

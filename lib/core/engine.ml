@@ -4,17 +4,26 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type stats = {
   mutable blocks_translated : int;
+  mutable blocks_executed : int;  (** dispatches through the execute loop *)
   mutable cache_hits : int;
   mutable lookups : int;
   mutable fences_emitted : int;
   mutable tcg_ops_before_opt : int;
   mutable tcg_ops_after_opt : int;
-  mutable chained : int;  (** block exits whose target was already cached *)
+  mutable chained : int;  (** block exits patched into direct edges *)
+  mutable chain_hits : int;  (** dispatches served by a patched edge *)
+  mutable jmp_cache_hits : int;
+      (** dispatches served by the per-thread jump cache *)
+  mutable superblocks : int;  (** hot traces stitched and installed *)
   mutable interp_fallbacks : int;
       (** blocks the backend could not compile, demoted to the TCG
           interpreter *)
   mutable traps : int;  (** guest threads finished by a fault *)
 }
+
+(* How the block at a pc executes: natively, or on the TCG interpreter
+   because the backend could not compile it. *)
+type compiled = Native of Arm.Insn.t array | Interp_only of Tcg.Block.t
 
 type t = {
   config : Config.t;
@@ -23,10 +32,11 @@ type t = {
   frontend : Frontend.t;
   mem : Memsys.Mem.t;
   shared : Arm.Machine.shared;
-  code_cache : (int64, Arm.Insn.t array) Hashtbl.t;
+  tbs : compiled Tbchain.t;
+      (* the code cache: every translated block (native or degraded),
+         plus chain edges and hot-trace state *)
   tcg_cache : (int64, Tcg.Block.t) Hashtbl.t;
-  fallback_cache : (int64, Tcg.Block.t) Hashtbl.t;
-      (* blocks running in degraded (interpreted) mode *)
+      (* optimized TCG per pc, kept for inspection and trace stitching *)
   inject : Inject.t;
   stats : stats;
   pending_spawns : (int * int64 * int64) Queue.t;  (* tid, entry, arg *)
@@ -38,6 +48,10 @@ type guest_thread = {
   mutable pc : int64;
   mutable finished : bool;
   mutable trap : Fault.t option;
+  jcache : compiled Tbchain.jcache;
+  mutable next_tb : compiled Tbchain.node option;
+      (* chained target patched in by the previous block's exit *)
+  mutable next_gen : int;  (* chain-table generation [next_tb] is valid for *)
 }
 
 let create ?cost ?idl config image =
@@ -71,19 +85,24 @@ let create ?cost ?idl config image =
     frontend = Frontend.create ~inject config image links;
     mem;
     shared;
-    code_cache = Hashtbl.create 64;
-    tcg_cache = Hashtbl.create 64;
-    fallback_cache = Hashtbl.create 8;
+    tbs = Tbchain.create ~chain:config.Config.chain ();
+    (* Sized like the chain table: real images translate far more than
+       the 64 buckets the old caches started with. *)
+    tcg_cache = Hashtbl.create 4096;
     inject;
     stats =
       {
         blocks_translated = 0;
+        blocks_executed = 0;
         cache_hits = 0;
         lookups = 0;
         fences_emitted = 0;
         tcg_ops_before_opt = 0;
         tcg_ops_after_opt = 0;
         chained = 0;
+        chain_hits = 0;
+        jmp_cache_hits = 0;
+        superblocks = 0;
         interp_fallbacks = 0;
         traps = 0;
       };
@@ -98,9 +117,13 @@ let memory t = t.mem
 let stats t = t.stats
 let links t = t.links
 let injector t = t.inject
+let chain_generation t = Tbchain.generation t.tbs
+let chained_edges t = Tbchain.edge_count t.tbs
 let stack_top tid = Int64.sub 0x8000_0000L (Int64.of_int (tid * 0x10000))
 
-type compiled = Native of Arm.Insn.t array | Interp_only of Tcg.Block.t
+let reset t =
+  Tbchain.flush t.tbs;
+  Hashtbl.reset t.tcg_cache
 
 let translate t pc =
   let raw = Frontend.translate t.frontend pc in
@@ -126,38 +149,34 @@ let translate t pc =
             (Fault.make ~pc Fault.Backend_fault
                (Printf.sprintf "register pressure in block 0x%Lx" p))
   in
-  match compiled with
-  | Ok code ->
-      t.stats.fences_emitted <-
-        t.stats.fences_emitted
-        + Array.fold_left
-            (fun n i -> match i with Arm.Insn.Dmb _ -> n + 1 | _ -> n)
-            0 code;
-      Hashtbl.replace t.code_cache pc code;
-      Native code
-  | Error f ->
-      (* Degraded mode: the block stays on the TCG interpreter.  The
-         run keeps its semantics (the interpreter and backend agree by
-         construction), only this block's speed is lost. *)
-      Log.warn (fun m ->
-          m "tb@0x%Lx: backend failed (%s); falling back to interpreter" pc
-            (Fault.to_string f));
-      t.stats.interp_fallbacks <- t.stats.interp_fallbacks + 1;
-      Hashtbl.replace t.fallback_cache pc optimized;
-      Interp_only optimized
+  let body =
+    match compiled with
+    | Ok code ->
+        t.stats.fences_emitted <-
+          t.stats.fences_emitted
+          + Array.fold_left
+              (fun n i -> match i with Arm.Insn.Dmb _ -> n + 1 | _ -> n)
+              0 code;
+        Native code
+    | Error f ->
+        (* Degraded mode: the block stays on the TCG interpreter.  The
+           run keeps its semantics (the interpreter and backend agree by
+           construction), only this block's speed is lost. *)
+        Log.warn (fun m ->
+            m "tb@0x%Lx: backend failed (%s); falling back to interpreter" pc
+              (Fault.to_string f));
+        t.stats.interp_fallbacks <- t.stats.interp_fallbacks + 1;
+        Interp_only optimized
+  in
+  Tbchain.insert t.tbs pc body
 
 let fetch t pc =
   t.stats.lookups <- t.stats.lookups + 1;
-  match Hashtbl.find_opt t.code_cache pc with
-  | Some code ->
+  match Tbchain.find t.tbs pc with
+  | Some n ->
       t.stats.cache_hits <- t.stats.cache_hits + 1;
-      Native code
-  | None -> (
-      match Hashtbl.find_opt t.fallback_cache pc with
-      | Some b ->
-          t.stats.cache_hits <- t.stats.cache_hits + 1;
-          Interp_only b
-      | None -> translate t pc)
+      n.Tbchain.body
+  | None -> (translate t pc).Tbchain.body
 
 let lookup_block t pc =
   match fetch t pc with
@@ -177,7 +196,15 @@ let spawn t ~tid ~entry ?(regs = []) () =
   List.iter
     (fun (r, v) -> arm.Arm.Machine.regs.(X86.Reg.index r) <- v)
     regs;
-  { arm; pc = entry; finished = false; trap = None }
+  {
+    arm;
+    pc = entry;
+    finished = false;
+    trap = None;
+    jcache = Tbchain.jcache_create t.tbs;
+    next_tb = None;
+    next_gen = Tbchain.generation t.tbs;
+  }
 
 (* Threads created by the guest's clone syscall since the last drain. *)
 let drain_spawns t =
@@ -264,24 +291,132 @@ let exec t g = function
           `Trap (Fault.make ~pc:g.pc (Fault.of_tag kind) context)
       | exception Fault.Fault f -> `Trap f)
 
+(* Dispatch: resolve the thread's pc to a chain node.  Fast paths in
+   order — the edge the previous block patched in, the per-thread jump
+   cache, the global table — before translating.  Every dispatch counts
+   as a lookup; [cache_hits] counts the ones a fresh translation was
+   avoided for, with [chain_hits]/[jmp_cache_hits] recording which fast
+   path served them. *)
+let dispatch t g =
+  t.stats.lookups <- t.stats.lookups + 1;
+  let gen = Tbchain.generation t.tbs in
+  match g.next_tb with
+  | Some n when g.next_gen = gen && Int64.equal n.Tbchain.pc g.pc ->
+      g.next_tb <- None;
+      t.stats.cache_hits <- t.stats.cache_hits + 1;
+      t.stats.chain_hits <- t.stats.chain_hits + 1;
+      n
+  | _ -> (
+      g.next_tb <- None;
+      match Tbchain.jcache_find t.tbs g.jcache g.pc with
+      | Some n ->
+          t.stats.cache_hits <- t.stats.cache_hits + 1;
+          t.stats.jmp_cache_hits <- t.stats.jmp_cache_hits + 1;
+          n
+      | None -> (
+          match Tbchain.find t.tbs g.pc with
+          | Some n ->
+              t.stats.cache_hits <- t.stats.cache_hits + 1;
+              Tbchain.jcache_store t.tbs g.jcache n;
+              n
+          | None ->
+              let n = translate t g.pc in
+              Tbchain.jcache_store t.tbs g.jcache n;
+              n))
+
+(* ------------------------------------------------------------------ *)
+(* Hot-trace superblocks: once a block head crosses the hotness
+   threshold, stitch its hottest chain of blocks into one TCG block,
+   re-run the configured optimizer pipeline so Fenceopt/Memopt/Dce see
+   across the former block boundaries, and compile the result.  Side
+   exits (untaken branch arms, back edges, computed jumps) fall back to
+   the original blocks, so installation can never change results —
+   only which code services the hot path. *)
+
+let trace_limit = 8
+
+let form_superblock t head =
+  let path = Tbchain.hottest_path head ~limit:trace_limit in
+  let tcg_of n =
+    match n.Tbchain.body with
+    | Interp_only _ -> None (* degraded blocks have no native seam *)
+    | Native _ -> Hashtbl.find_opt t.tcg_cache n.Tbchain.pc
+  in
+  let rec collect = function
+    | [] -> Some []
+    | n :: rest -> (
+        match (tcg_of n, collect rest) with
+        | Some b, Some bs -> Some (b :: bs)
+        | _ -> None)
+  in
+  if List.length path < 2 then None
+  else
+    match collect path with
+    | None -> None
+    | Some blocks -> (
+        let stitched =
+          Tcg.Pipeline.run t.config.Config.passes (Tcg.Block.concat blocks)
+        in
+        match Backend.compile t.config stitched with
+        | code ->
+            Log.info (fun m ->
+                m "superblock@0x%Lx: %d blocks, %d tcg ops" head.Tbchain.pc
+                  (List.length blocks)
+                  (Tcg.Block.op_count stitched));
+            Some (Native code, List.length blocks)
+        | exception Fault.Fault _ -> None
+        | exception Backend.Register_pressure _ -> None)
+
+let maybe_superblock t node =
+  let threshold = t.config.Config.trace_threshold in
+  if
+    threshold > 0
+    && Tbchain.chaining t.tbs
+    && node.Tbchain.exec_count = threshold
+    && node.Tbchain.super_len = 0
+    && not node.Tbchain.no_super
+  then
+    match form_superblock t node with
+    | Some (super, len) ->
+        Tbchain.install_super node super ~len;
+        t.stats.superblocks <- t.stats.superblocks + 1
+    | None -> node.Tbchain.no_super <- true
+
 let step_block t g =
   if not g.finished then
     match
-      match fetch t g.pc with
-      | compiled -> exec t g compiled
+      match dispatch t g with
+      | node ->
+          t.stats.blocks_executed <- t.stats.blocks_executed + 1;
+          node.Tbchain.exec_count <- node.Tbchain.exec_count + 1;
+          maybe_superblock t node;
+          `Ran (node, exec t g node.Tbchain.active)
       | exception Fault.Fault f -> `Trap f
     with
-    | `Next pc ->
-        (* A static exit whose target is already translated would be
-           patched into a direct jump by a chaining DBT: count it. *)
-        if Hashtbl.mem t.code_cache pc then
-          t.stats.chained <- t.stats.chained + 1;
+    | `Ran (node, `Next pc) ->
+        (* Static exit: follow the patched edge, or patch one the first
+           time the target is found translated.  Either way the next
+           dispatch of this thread skips the hashtable. *)
+        (match Tbchain.follow node pc with
+        | Some target ->
+            g.next_tb <- Some target;
+            g.next_gen <- Tbchain.generation t.tbs
+        | None -> (
+            match Tbchain.find t.tbs pc with
+            | Some target ->
+                if Tbchain.link t.tbs node ~epc:pc target then
+                  t.stats.chained <- t.stats.chained + 1;
+                if Tbchain.chaining t.tbs then begin
+                  g.next_tb <- Some target;
+                  g.next_gen <- Tbchain.generation t.tbs
+                end
+            | None -> ()));
         g.pc <- pc
-    | `Jump pc -> g.pc <- pc
-    | `Halt ->
+    | `Ran (_, `Jump pc) -> g.pc <- pc
+    | `Ran (_, `Halt) ->
         Log.debug (fun m -> m "T%d halted" g.arm.Arm.Machine.tid);
         g.finished <- true
-    | `Trap f -> fault_thread t g f
+    | `Ran (_, `Trap f) | `Trap f -> fault_thread t g f
 
 type outcome =
   | Completed of guest_thread list
@@ -296,31 +431,37 @@ let threads = function
   | Exhausted { threads; _ } -> threads
 
 (* Round-robin at block granularity; guest clone syscalls may add
-   threads between rounds. *)
+   threads between rounds.  A queue plus a live counter keeps each
+   round O(threads): no per-round re-filtering of the thread list, and
+   spawned threads append in O(1) instead of rebuilding the list. *)
 let run_concurrent ?(max_blocks = 50_000_000) t threads0 =
-  let all = ref threads0 in
+  let all = Queue.create () in
+  let live = ref 0 in
+  let add g =
+    Queue.push g all;
+    if not g.finished then incr live
+  in
+  List.iter add threads0;
   let n = ref 0 in
-  let live () = List.filter (fun g -> not g.finished) !all in
-  while live () <> [] && !n < max_blocks do
-    List.iter
+  while !live > 0 && !n < max_blocks do
+    Queue.iter
       (fun g ->
         if not g.finished then begin
           incr n;
-          step_block t g
+          step_block t g;
+          if g.finished then decr live
         end)
-      !all;
-    match drain_spawns t with
-    | [] -> ()
-    | spawned -> all := !all @ spawned
+      all;
+    List.iter add (drain_spawns t)
   done;
-  match live () with
-  | [] -> Completed !all
-  | alive ->
-      Log.warn (fun m ->
-          m "watchdog: block budget %d exhausted with %d live thread(s)"
-            max_blocks (List.length alive));
-      Exhausted
-        { blocks = !n; live_threads = List.length alive; threads = !all }
+  let threads = List.of_seq (Queue.to_seq all) in
+  if !live = 0 then Completed threads
+  else begin
+    Log.warn (fun m ->
+        m "watchdog: block budget %d exhausted with %d live thread(s)"
+          max_blocks !live);
+    Exhausted { blocks = !n; live_threads = !live; threads }
+  end
 
 let run_thread ?max_blocks t g = ignore (run_concurrent ?max_blocks t [ g ])
 
@@ -347,7 +488,12 @@ let save_cache t path =
   Buffer.add_char b (Char.chr (String.length t.config.Config.name));
   Buffer.add_string b t.config.Config.name;
   let entries =
-    Hashtbl.fold (fun pc code acc -> (pc, code) :: acc) t.code_cache []
+    Tbchain.fold
+      (fun pc n acc ->
+        match n.Tbchain.body with
+        | Native code -> (pc, code) :: acc
+        | Interp_only _ -> acc)
+      t.tbs []
     |> List.sort compare
   in
   Buffer.add_string b (Printf.sprintf "%08d" (List.length entries));
@@ -419,7 +565,14 @@ let load_cache t path =
     parse s
   with
   | staged ->
-      Hashtbl.iter (Hashtbl.replace t.code_cache) staged;
+      (* Loaded translations replace whatever the engine had patched
+         jumps into: unchain everything (and bump the generation so
+         per-thread jump caches and pending chained targets die) before
+         installing the staged blocks. *)
+      Tbchain.clear_links t.tbs;
+      Hashtbl.iter
+        (fun pc code -> ignore (Tbchain.insert t.tbs pc (Native code)))
+        staged;
       Ok (Hashtbl.length staged)
   | exception Fault.Fault f ->
       Log.warn (fun m ->

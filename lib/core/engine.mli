@@ -5,6 +5,17 @@
     threads share the guest memory and the code cache, and are scheduled
     round-robin at translation-block granularity.
 
+    {b Dispatch.}  Block exits resolve through three fast paths before
+    the global table: the chained target the previous block's static
+    exit patched in ({!Tbchain}, QEMU-style TB chaining), a per-thread
+    direct-mapped jump cache (cf. QEMU's [tb_jmp_cache]), and only then
+    the hashtable.  Chaining executes the same code in the same order,
+    so it never changes results or guest cycles; disable it with
+    [config.chain = false].  With [config.trace_threshold > 0], hot
+    block heads get their hottest chain stitched into a superblock and
+    re-optimized across the former block boundaries (see
+    {!Tcg.Block.concat}).
+
     {b Fault model.}  Guest-caused failures (undecodable code, missing
     helpers, unresolvable imports, runaway blocks) never abort a run:
     the faulting thread finishes with {!trap} set to the {!Fault.t}
@@ -15,14 +26,24 @@
 
 type stats = {
   mutable blocks_translated : int;
+  mutable blocks_executed : int;
+      (** dispatches through the execute loop (one per executed block
+          or superblock) *)
   mutable cache_hits : int;
-  mutable lookups : int;
+      (** dispatches/fetches that did not need a fresh translation,
+          whichever fast path served them *)
+  mutable lookups : int;  (** all dispatches/fetches *)
   mutable fences_emitted : int;  (** DMBs in translated code *)
   mutable tcg_ops_before_opt : int;
   mutable tcg_ops_after_opt : int;
   mutable chained : int;
-      (** static block exits whose target was already translated — the
-          directly-patchable jumps a chaining DBT would use *)
+      (** static block exits patched into direct block-to-block edges *)
+  mutable chain_hits : int;
+      (** dispatches served by a patched edge — no table lookup at all *)
+  mutable jmp_cache_hits : int;
+      (** dispatches served by the per-thread direct-mapped jump cache *)
+  mutable superblocks : int;
+      (** hot traces stitched, re-optimized and installed *)
   mutable interp_fallbacks : int;
       (** blocks the backend could not compile, demoted to the TCG
           interpreter *)
@@ -36,12 +57,23 @@ val log_src : Logs.src
 
 type t
 
+(** How the block at a pc executes: natively, or on the TCG
+    interpreter because the backend could not compile it. *)
+type compiled = Native of Arm.Insn.t array | Interp_only of Tcg.Block.t
+
 type guest_thread = {
   arm : Arm.Machine.thread;
   mutable pc : int64;
   mutable finished : bool;
   mutable trap : Fault.t option;
       (** set when the thread was stopped by a fault *)
+  jcache : compiled Tbchain.jcache;
+      (** per-thread direct-mapped TB lookup cache *)
+  mutable next_tb : compiled Tbchain.node option;
+      (** chained target for the next dispatch, if the previous block's
+          static exit was patched *)
+  mutable next_gen : int;
+      (** chain-table generation [next_tb] was captured at *)
 }
 
 (** Create an engine.  [idl] defaults to the full host-library IDL when
@@ -71,12 +103,21 @@ val spawn :
   t -> tid:int -> entry:int64 -> ?regs:(X86.Reg.t * int64) list -> unit ->
   guest_thread
 
-(** How the block at a pc executes: natively, or on the TCG
-    interpreter because the backend could not compile it. *)
-type compiled = Native of Arm.Insn.t array | Interp_only of Tcg.Block.t
-
-(** Translate (or fetch from cache) the block at an address. *)
+(** Translate (or fetch from cache) the block at an address.  Returns
+    the original per-block translation (never a superblock). *)
 val fetch : t -> int64 -> compiled
+
+(** Flush the translation caches: every block, patched chain edge and
+    superblock is dropped, and the chain generation is bumped so stale
+    per-thread dispatch state can never fire. *)
+val reset : t -> unit
+
+(** Current chain-table generation; bumped by {!reset} and by a
+    successful {!load_cache} (both invalidate patched edges). *)
+val chain_generation : t -> int
+
+(** Patched block-to-block edges currently installed. *)
+val chained_edges : t -> int
 
 (** The native code at an address.  Raises {!Fault.Fault}
     ([Backend_fault]) if the block is interpreter-only; prefer
@@ -143,5 +184,8 @@ val save_cache : t -> string -> int
     ([Cache_corrupt]) explaining why the file was rejected — corrupt,
     truncated, unreadable, or built by a different configuration.  On
     [Error] the engine's code cache is untouched (cold start); nothing
-    is ever partially loaded. *)
+    is ever partially loaded.  On [Ok] every patched chain edge and
+    superblock is invalidated first (the loaded translations replace
+    what the edges were built against), which also bumps
+    {!chain_generation}. *)
 val load_cache : t -> string -> (int, Fault.t) result

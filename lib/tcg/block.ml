@@ -14,3 +14,81 @@ let pp ppf b =
   Fmt.pf ppf "@[<v>TB@0x%Lx (%d guest insns):@,%a@]" b.guest_pc b.guest_insns
     (Fmt.list ~sep:Fmt.cut Op.pp)
     b.ops
+
+(* ------------------------------------------------------------------ *)
+(* Superblock stitching: concatenate straight-line blocks into one. *)
+
+let max_label ops =
+  List.fold_left
+    (fun m op ->
+      match op with
+      | Op.Brcond (_, _, _, l) | Op.Set_label l | Op.Br l -> max m l
+      | _ -> m)
+    (-1) ops
+
+let shift_labels k ops =
+  if k = 0 then ops
+  else
+    List.map
+      (function
+        | Op.Brcond (c, a, b, l) -> Op.Brcond (c, a, b, l + k)
+        | Op.Set_label l -> Op.Set_label (l + k)
+        | Op.Br l -> Op.Br (l + k)
+        | op -> op)
+      ops
+
+(* Drop [Br l] when it lands on the immediately following [Set_label l]
+   (and the label itself when nothing else targets it), so a stitched
+   seam becomes genuinely straight-line code the label-blocked
+   optimizer passes can see across. *)
+let elide_adjacent_branches ops =
+  let refs = Hashtbl.create 16 in
+  let addref l =
+    Hashtbl.replace refs l (1 + Option.value ~default:0 (Hashtbl.find_opt refs l))
+  in
+  List.iter
+    (function
+      | Op.Br l | Op.Brcond (_, _, _, l) -> addref l
+      | _ -> ())
+    ops;
+  let rec go = function
+    | Op.Br l :: Op.Set_label l' :: rest when l = l' ->
+        if Hashtbl.find refs l = 1 then go rest
+        else go (Op.Set_label l' :: rest)
+    | op :: rest -> op :: go rest
+    | [] -> []
+  in
+  go ops
+
+let concat = function
+  | [] -> invalid_arg "Block.concat: empty block list"
+  | head :: tail ->
+      let ops = ref head.ops in
+      let next_label = ref (max_label head.ops + 1) in
+      let guest_len = ref head.guest_len in
+      let guest_insns = ref head.guest_insns in
+      List.iter
+        (fun b ->
+          let shifted = shift_labels !next_label b.ops in
+          next_label := !next_label + max_label b.ops + 1;
+          let seam = !next_label in
+          incr next_label;
+          (* Redirect every static exit to [b] seen so far into the
+             appended copy; exits to other pcs (and back edges in [b]
+             itself) stay as side exits. *)
+          ops :=
+            List.map
+              (function
+                | Op.Goto_tb pc when Int64.equal pc b.guest_pc -> Op.Br seam
+                | op -> op)
+              !ops
+            @ (Op.Set_label seam :: shifted);
+          guest_len := !guest_len + b.guest_len;
+          guest_insns := !guest_insns + b.guest_insns)
+        tail;
+      {
+        guest_pc = head.guest_pc;
+        guest_len = !guest_len;
+        guest_insns = !guest_insns;
+        ops = elide_adjacent_branches !ops;
+      }

@@ -10,3 +10,16 @@ type t = {
 val fence_count : t -> int
 val op_count : t -> int
 val pp : Format.formatter -> t -> unit
+
+(** [concat blocks] stitches a hot trace into one superblock, keeping
+    the head's [guest_pc].  Labels of each constituent are renumbered
+    to avoid collisions; every [Goto_tb] in the accumulated prefix that
+    targets the next constituent's pc is rewritten into an internal
+    forward branch, and [Br l; Set_label l] seam pairs are elided so
+    straight-line seams become visible to the (label-blocked) optimizer
+    passes.  Back edges and exits to pcs outside the trace remain
+    [Goto_tb]/[Goto_ptr] side exits with unchanged semantics, so the
+    superblock is internally acyclic and falls back to the original
+    blocks on any side exit.  Duplicate constituents are allowed (loop
+    unrolling).  Raises [Invalid_argument] on the empty list. *)
+val concat : t list -> t

@@ -61,11 +61,14 @@ let dis path =
   go image.Image.Gelf.text_base;
   0
 
-let run path config_name trace inject no_chain trace_threshold =
-  if trace then begin
+let run path config_name trace_out debug metrics inject no_chain
+    trace_threshold =
+  if debug then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.Src.set_level Core.Engine.log_src (Some Logs.Debug)
   end;
+  if trace_out <> None then Obs.Trace.enable ();
+  if metrics then Obs.Metrics.enable ();
   match List.assoc_opt config_name configs with
   | None ->
       Format.eprintf "unknown config %S (one of: %s)@." config_name
@@ -92,23 +95,36 @@ let run path config_name trace inject no_chain trace_threshold =
           if Buffer.length arm.Arm.Machine.output > 0 then
             print_string (Buffer.contents arm.Arm.Machine.output);
           let stats = Core.Engine.stats eng in
-          Format.printf
-            "[%s] exit=%Ld cycles=%d insns=%d fences=%d blocks=%d \
-             executed=%d chained=%d chain-hits=%d jcache-hits=%d \
-             superblocks=%d rax=%Ld@."
+          (* [stats_line] reports every counter unconditionally —
+             including interp-fallbacks=0 — so degraded runs can never
+             be confused with runs that simply didn't report. *)
+          Format.printf "[%s] exit=%Ld insns=%d fences=%d rax=%Ld %s@."
             config.Core.Config.name arm.Arm.Machine.exit_code
-            (Core.Engine.cycles g) arm.Arm.Machine.insns arm.Arm.Machine.fences
-            stats.Core.Engine.blocks_translated
-            stats.Core.Engine.blocks_executed stats.Core.Engine.chained
-            stats.Core.Engine.chain_hits stats.Core.Engine.jmp_cache_hits
-            stats.Core.Engine.superblocks
-            (Core.Engine.reg g R.RAX);
+            arm.Arm.Machine.insns arm.Arm.Machine.fences
+            (Core.Engine.reg g R.RAX)
+            (Core.Engine.stats_line eng g);
           if stats.Core.Engine.interp_fallbacks > 0 then
             Format.printf "degraded: %d block(s) ran on the TCG interpreter@."
               stats.Core.Engine.interp_fallbacks;
           (match Core.Engine.trap g with
           | Some f ->
               Format.printf "guest trap: %s@." (Core.Fault.to_string f)
+          | None -> ());
+          if metrics then begin
+            Core.Engine.publish_metrics eng;
+            Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ());
+            (match Core.Engine.hot_blocks eng with
+            | [] -> ()
+            | hot ->
+                Format.printf "hot blocks (by attributed cycles):@.";
+                List.iter
+                  (fun e -> Format.printf "  %a@." Obs.Profile.pp_entry e)
+                  hot)
+          end;
+          (match trace_out with
+          | Some out ->
+              let n = Obs.Trace.write out in
+              Format.printf "wrote %d trace event(s) to %s@." n out
           | None -> ());
           Int64.to_int arm.Arm.Machine.exit_code land 0xFF)
 
@@ -152,7 +168,28 @@ let demo_cmd = Cmd.v (Cmd.info "demo" ~doc:"Write a demo image") Term.(const dem
 let dis_cmd = Cmd.v (Cmd.info "dis" ~doc:"Disassemble an image") Term.(const dis $ path_arg)
 
 let trace_arg =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Trace every executed block.")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run and write it to $(docv) as \
+           Chrome trace_event JSON (open in chrome://tracing or \
+           Perfetto).")
+
+let debug_arg =
+  Arg.(
+    value & flag
+    & info [ "debug" ] ~doc:"Log every executed block to stderr.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Enable the metrics registry for the run and print the merged \
+           snapshot (counters, gauges, latency histograms) plus the \
+           hottest translated blocks.")
 
 let inject_arg =
   Arg.(
@@ -188,8 +225,8 @@ let trace_threshold_arg =
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run an image under the DBT")
     Term.(
-      const run $ path_arg $ config_arg $ trace_arg $ inject_arg
-      $ no_chain_arg $ trace_threshold_arg)
+      const run $ path_arg $ config_arg $ trace_arg $ debug_arg
+      $ metrics_arg $ inject_arg $ no_chain_arg $ trace_threshold_arg)
 
 let () =
   exit

@@ -28,11 +28,26 @@ type outcome =
   | Parse_error of { line : int; msg : string }
   | Checked of Litmus.Ast.test * Litmus.Enumerate.verdict
 
+let m_files = lazy (Obs.Metrics.counter "litmus.files")
+let m_ok = lazy (Obs.Metrics.counter "litmus.ok")
+let m_check_ns = lazy (Obs.Metrics.histogram "litmus.check.ns")
+
 let check_one model path =
+  Obs.Trace.with_span ~cat:"litmus"
+    ~args:(fun () -> [ ("file", path) ])
+    "check"
+  @@ fun () ->
+  Obs.Metrics.incr (Lazy.force m_files);
   match Litmus.Parser.parse (read_file path) with
   | exception Sys_error msg -> Read_error msg
   | exception Litmus.Parser.Error { line; msg } -> Parse_error { line; msg }
-  | test -> Checked (test, Litmus.Enumerate.check model test)
+  | test ->
+      let v =
+        Obs.Profile.time (Lazy.force m_check_ns) (fun () ->
+            Litmus.Enumerate.check model test)
+      in
+      if v.Litmus.Enumerate.ok then Obs.Metrics.incr (Lazy.force m_ok);
+      Checked (test, v)
 
 let report_one model verbose path outcome =
   match outcome with
@@ -54,7 +69,8 @@ let report_one model verbose path outcome =
           v.Litmus.Enumerate.witnesses;
       v.Litmus.Enumerate.ok
 
-let main files model_name verbose jobs =
+let main files model_name verbose jobs metrics =
+  if metrics then Obs.Metrics.enable ();
   match List.assoc_opt model_name models with
   | None ->
       Format.eprintf "unknown model %S (one of: %s)@." model_name
@@ -73,6 +89,8 @@ let main files model_name verbose jobs =
       Format.printf "%d/%d tests hold@."
         (List.length ok - failures)
         (List.length ok);
+      if metrics then
+        Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ());
       if failures = 0 then 0 else 1
 
 let files_arg =
@@ -96,17 +114,28 @@ let jobs_arg =
           "Check files on $(docv) parallel domains (default: sequential; 0 \
            means one per recommended core).")
 
-let main files model_name verbose jobs =
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Enable the metrics registry and print the merged snapshot \
+           (files checked, verdicts, per-check latency histogram) after \
+           the run.")
+
+let main files model_name verbose jobs metrics =
   let jobs =
     match jobs with
     | Some 0 -> Some (Domain.recommended_domain_count ())
     | j -> j
   in
-  main files model_name verbose jobs
+  main files model_name verbose jobs metrics
 
 let cmd =
   Cmd.v
     (Cmd.info "litmus_run" ~doc:"Check litmus files against their expectations")
-    Term.(const main $ files_arg $ model_arg $ verbose_arg $ jobs_arg)
+    Term.(
+      const main $ files_arg $ model_arg $ verbose_arg $ jobs_arg
+      $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

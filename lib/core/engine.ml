@@ -2,6 +2,19 @@ let log_src = Logs.Src.create "risotto.engine" ~doc:"Risotto DBT engine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Observability handles.  Counters that are cheap and cold (translate,
+   faults, superblocks) are mirrored into the registry live; the hot
+   dispatch counters stay plain [stats] fields and are published as
+   gauges by {!publish_metrics} so the dispatch loop pays nothing for
+   them. *)
+let m_translate_ns = lazy (Obs.Metrics.histogram "engine.translate.ns")
+let m_compile_ns = lazy (Obs.Metrics.histogram "engine.compile.ns")
+let m_block_cycles = lazy (Obs.Metrics.histogram "engine.block.cycles")
+let m_translated = lazy (Obs.Metrics.counter "engine.blocks_translated")
+let m_fallbacks = lazy (Obs.Metrics.counter "engine.interp_fallbacks")
+let m_traps = lazy (Obs.Metrics.counter "engine.traps")
+let m_superblocks = lazy (Obs.Metrics.counter "engine.superblocks")
+
 type stats = {
   mutable blocks_translated : int;
   mutable blocks_executed : int;  (** dispatches through the execute loop *)
@@ -122,16 +135,26 @@ let chained_edges t = Tbchain.edge_count t.tbs
 let stack_top tid = Int64.sub 0x8000_0000L (Int64.of_int (tid * 0x10000))
 
 let reset t =
+  Obs.Trace.instant ~cat:"engine" "reset";
   Tbchain.flush t.tbs;
   Hashtbl.reset t.tcg_cache
 
 let translate t pc =
-  let raw = Frontend.translate t.frontend pc in
+  Obs.Trace.with_span ~cat:"engine"
+    ~args:(fun () -> [ ("pc", Printf.sprintf "0x%Lx" pc) ])
+    "translate"
+  @@ fun () ->
+  Obs.Profile.time (Lazy.force m_translate_ns) @@ fun () ->
+  let raw =
+    Obs.Trace.with_span ~cat:"engine" "frontend" (fun () ->
+        Frontend.translate t.frontend pc)
+  in
   Log.info (fun m ->
       m "translate tb@0x%Lx: %d guest insns -> %d tcg ops" pc
         raw.Tcg.Block.guest_insns (Tcg.Block.op_count raw));
   let optimized = Tcg.Pipeline.run t.config.Config.passes raw in
   t.stats.blocks_translated <- t.stats.blocks_translated + 1;
+  Obs.Metrics.incr (Lazy.force m_translated);
   t.stats.tcg_ops_before_opt <-
     t.stats.tcg_ops_before_opt + Tcg.Block.op_count raw;
   t.stats.tcg_ops_after_opt <-
@@ -141,7 +164,11 @@ let translate t pc =
     if Inject.fire t.inject Inject.Compile then
       Error (Fault.make ~pc Fault.Backend_fault "injected compile fault")
     else
-      match Backend.compile t.config optimized with
+      match
+        Obs.Trace.with_span ~cat:"engine" "backend" (fun () ->
+            Obs.Profile.time (Lazy.force m_compile_ns) (fun () ->
+                Backend.compile t.config optimized))
+      with
       | code -> Ok code
       | exception Fault.Fault f -> Error (Fault.locate ~pc f)
       | exception Backend.Register_pressure p ->
@@ -166,6 +193,7 @@ let translate t pc =
             m "tb@0x%Lx: backend failed (%s); falling back to interpreter" pc
               (Fault.to_string f));
         t.stats.interp_fallbacks <- t.stats.interp_fallbacks + 1;
+        Obs.Metrics.incr (Lazy.force m_fallbacks);
         Interp_only optimized
   in
   Tbchain.insert t.tbs pc body
@@ -232,6 +260,10 @@ let fault_of_machine_trap pc = function
 let fault_thread t g f =
   let f = Fault.locate ~pc:g.pc ~tid:g.arm.Arm.Machine.tid f in
   t.stats.traps <- t.stats.traps + 1;
+  Obs.Metrics.incr (Lazy.force m_traps);
+  Obs.Trace.instant ~cat:"engine"
+    ~args:(fun () -> [ ("fault", Fault.to_string f) ])
+    "trap";
   Log.warn (fun m ->
       m "T%d trapped: %s" g.arm.Arm.Machine.tid (Fault.to_string f));
   g.trap <- Some f;
@@ -376,10 +408,16 @@ let maybe_superblock t node =
     && node.Tbchain.super_len = 0
     && not node.Tbchain.no_super
   then
-    match form_superblock t node with
+    match
+      Obs.Trace.with_span ~cat:"engine"
+        ~args:(fun () -> [ ("pc", Printf.sprintf "0x%Lx" node.Tbchain.pc) ])
+        "superblock"
+        (fun () -> form_superblock t node)
+    with
     | Some (super, len) ->
         Tbchain.install_super node super ~len;
-        t.stats.superblocks <- t.stats.superblocks + 1
+        t.stats.superblocks <- t.stats.superblocks + 1;
+        Obs.Metrics.incr (Lazy.force m_superblocks)
     | None -> node.Tbchain.no_super <- true
 
 let step_block t g =
@@ -390,7 +428,18 @@ let step_block t g =
           t.stats.blocks_executed <- t.stats.blocks_executed + 1;
           node.Tbchain.exec_count <- node.Tbchain.exec_count + 1;
           maybe_superblock t node;
-          `Ran (node, exec t g node.Tbchain.active)
+          (* Cycle attribution for hot-block ranking is metered: one
+             enabled check per dispatch when off.  Guest cycle counting
+             is deterministic, so reading it cannot perturb the run. *)
+          if Obs.Metrics.enabled () then begin
+            let c0 = g.arm.Arm.Machine.cycles in
+            let r = exec t g node.Tbchain.active in
+            let dc = g.arm.Arm.Machine.cycles - c0 in
+            node.Tbchain.prof_cycles <- node.Tbchain.prof_cycles + dc;
+            Obs.Metrics.observe (Lazy.force m_block_cycles) dc;
+            `Ran (node, r)
+          end
+          else `Ran (node, exec t g node.Tbchain.active)
       | exception Fault.Fault f -> `Trap f
     with
     | `Ran (node, `Next pc) ->
@@ -435,6 +484,10 @@ let threads = function
    round O(threads): no per-round re-filtering of the thread list, and
    spawned threads append in O(1) instead of rebuilding the list. *)
 let run_concurrent ?(max_blocks = 50_000_000) t threads0 =
+  Obs.Trace.with_span ~cat:"engine"
+    ~args:(fun () -> [ ("threads", string_of_int (List.length threads0)) ])
+    "run_concurrent"
+  @@ fun () ->
   let all = Queue.create () in
   let live = ref 0 in
   let add g =
@@ -473,6 +526,61 @@ let run ?max_blocks ?regs t =
 let reg g r = g.arm.Arm.Machine.regs.(X86.Reg.index r)
 let cycles g = g.arm.Arm.Machine.cycles
 let trap g = g.trap
+
+(* ------------------------------------------------------------------ *)
+(* Profiling views over the code cache and the stats record.           *)
+
+(* Hottest translated blocks, ranked by attributed guest cycles (when
+   Obs.Metrics was enabled during the run) falling back to raw
+   execution counts. *)
+let hot_blocks ?limit t =
+  let entries =
+    Tbchain.fold
+      (fun pc n acc ->
+        if n.Tbchain.exec_count = 0 then acc
+        else
+          {
+            Obs.Profile.key = pc;
+            count = n.Tbchain.exec_count;
+            cost = n.Tbchain.prof_cycles;
+          }
+          :: acc)
+      t.tbs []
+  in
+  Obs.Profile.rank ?limit entries
+
+(* One-line run summary for CLIs.  Every field is printed
+   unconditionally — in particular [interp-fallbacks], so a clean run
+   is distinguishable from a run where degradation went unreported. *)
+let stats_line t g =
+  let s = t.stats in
+  Printf.sprintf
+    "cycles=%d blocks=%d executed=%d chained=%d chain-hits=%d \
+     jcache-hits=%d superblocks=%d interp-fallbacks=%d traps=%d"
+    g.arm.Arm.Machine.cycles s.blocks_translated s.blocks_executed s.chained
+    s.chain_hits s.jmp_cache_hits s.superblocks s.interp_fallbacks s.traps
+
+(* Publish the hot-path dispatch counters (kept as plain mutable fields
+   so dispatch pays nothing for them) into the metrics registry as
+   gauges.  Call once at end of run, e.g. before printing a snapshot. *)
+let publish_metrics t =
+  if Obs.Metrics.enabled () then begin
+    let s = t.stats in
+    let set name v = Obs.Metrics.set (Obs.Metrics.gauge name) v in
+    set "engine.stats.blocks_translated" s.blocks_translated;
+    set "engine.stats.blocks_executed" s.blocks_executed;
+    set "engine.stats.cache_hits" s.cache_hits;
+    set "engine.stats.lookups" s.lookups;
+    set "engine.stats.fences_emitted" s.fences_emitted;
+    set "engine.stats.tcg_ops_before_opt" s.tcg_ops_before_opt;
+    set "engine.stats.tcg_ops_after_opt" s.tcg_ops_after_opt;
+    set "engine.stats.chained" s.chained;
+    set "engine.stats.chain_hits" s.chain_hits;
+    set "engine.stats.jmp_cache_hits" s.jmp_cache_hits;
+    set "engine.stats.superblocks" s.superblocks;
+    set "engine.stats.interp_fallbacks" s.interp_fallbacks;
+    set "engine.stats.traps" s.traps
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Persistent translation cache: translated host code keyed by guest
@@ -573,6 +681,10 @@ let load_cache t path =
       Hashtbl.iter
         (fun pc code -> ignore (Tbchain.insert t.tbs pc (Native code)))
         staged;
+      Obs.Trace.instant ~cat:"engine"
+        ~args:(fun () ->
+          [ ("blocks", string_of_int (Hashtbl.length staged)) ])
+        "load_cache";
       Ok (Hashtbl.length staged)
   | exception Fault.Fault f ->
       Log.warn (fun m ->

@@ -169,6 +169,30 @@ val cycles : guest_thread -> int
 val trap : guest_thread -> Fault.t option
 (** The fault that stopped the thread, if any. *)
 
+(** {1 Observability}
+
+    The engine emits {!Obs.Trace} spans around translation and
+    concurrent runs, and feeds {!Obs.Metrics} when the registry is
+    enabled; both are single-branch no-ops otherwise. *)
+
+(** Hottest translated blocks, ranked by guest cycles attributed to
+    each block while {!Obs.Metrics} was enabled (falling back to raw
+    execution counts).  [limit] defaults to 10. *)
+val hot_blocks : ?limit:int -> t -> Obs.Profile.entry list
+
+(** One-line run summary for CLIs: guest cycles of [g] plus the engine
+    counters.  Every field is printed unconditionally — in particular
+    [interp-fallbacks=0] on a clean run, so silent degradation is
+    impossible to confuse with "not reported". *)
+val stats_line : t -> guest_thread -> string
+
+(** Publish the {!stats} counters into the {!Obs.Metrics} registry as
+    [engine.stats.*] gauges.  The dispatch loop deliberately keeps its
+    counters as plain mutable fields (zero instrumentation cost); call
+    this once at the end of a run, before snapshotting the registry.
+    No-op when metrics are disabled. *)
+val publish_metrics : t -> unit
+
 (** {1 Persistent translation cache}
 
     Translated code can be saved after a run and reloaded by a later

@@ -16,6 +16,8 @@ type 'a node = {
   mutable edges : 'a edge list;  (* patched static exits, at most one per pc *)
   mutable super_len : int;  (* number of stitched blocks; 0 = no superblock *)
   mutable no_super : bool;  (* superblock formation failed; do not retry *)
+  mutable prof_cycles : int;
+      (* guest cycles attributed to this block while metrics were on *)
 }
 
 and 'a edge = { epc : int64; target : 'a node; mutable hits : int }
@@ -47,7 +49,8 @@ let reset_node n body =
   n.exec_count <- 0;
   n.edges <- [];
   n.super_len <- 0;
-  n.no_super <- false
+  n.no_super <- false;
+  n.prof_cycles <- 0
 
 let insert t pc body =
   match Hashtbl.find_opt t.table pc with
@@ -66,6 +69,7 @@ let insert t pc body =
           edges = [];
           super_len = 0;
           no_super = false;
+          prof_cycles = 0;
         }
       in
       Hashtbl.replace t.table pc n;
@@ -127,7 +131,8 @@ let clear_links t =
       n.active <- n.body;
       n.exec_count <- 0;
       n.super_len <- 0;
-      n.no_super <- false)
+      n.no_super <- false;
+      n.prof_cycles <- 0)
     t.table;
   t.generation <- t.generation + 1
 

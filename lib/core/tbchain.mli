@@ -21,6 +21,9 @@ type 'a node = {
   mutable edges : 'a edge list;  (** patched static exits, one per pc *)
   mutable super_len : int;  (** blocks stitched into [active]; 0 = none *)
   mutable no_super : bool;  (** formation failed once; do not retry *)
+  mutable prof_cycles : int;
+      (** guest cycles this block accumulated while {!Obs.Metrics} was
+          enabled (0 otherwise) — feeds hot-block ranking *)
 }
 
 and 'a edge = { epc : int64; target : 'a node; mutable hits : int }

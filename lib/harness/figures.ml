@@ -22,7 +22,18 @@ let fig12_columns =
     Native;
   ]
 
+let cell_label = function
+  | Dbt config -> config.Core.Config.name
+  | Native -> "native"
+
 let run_cell ((b : Parsec.bench), cell) =
+  Obs.Trace.with_span ~cat:"figures"
+    ~args:(fun () ->
+      [
+        ("bench", b.Parsec.spec.Kernel.name); ("config", cell_label cell);
+      ])
+    "cell"
+  @@ fun () ->
   match cell with
   | Dbt config ->
       let g, _ = Kernel.run_dbt config b.Parsec.spec in

@@ -6,6 +6,14 @@ type t = { table : entry list; unres : (string * cause) list }
 
 let empty = { table = []; unres = [] }
 
+(* Link-resolution latency and outcomes (Figure 11 step 2): the whole
+   import scan is timed into link.resolve.ns, per-PLT-call stub lookups
+   into link.lookup.ns. *)
+let m_resolve_ns = lazy (Obs.Metrics.histogram "link.resolve.ns")
+let m_lookup_ns = lazy (Obs.Metrics.histogram "link.lookup.ns")
+let m_resolved = lazy (Obs.Metrics.counter "link.resolved")
+let m_unresolved = lazy (Obs.Metrics.counter "link.unresolved")
+
 let resolve (image : Image.Gelf.t) sigs =
   let resolve_one name =
     (* sequential lets: `and` bindings have unspecified evaluation order *)
@@ -21,7 +29,16 @@ let resolve (image : Image.Gelf.t) sigs =
     | Some _, None, _ -> Either.Right (name, Missing_host_symbol)
     | Some _, Some _, None -> Either.Right (name, No_plt_slot)
   in
-  let table, unres = List.partition_map resolve_one image.Image.Gelf.imports in
+  let table, unres =
+    Obs.Trace.with_span ~cat:"link" "resolve"
+      ~args:(fun () ->
+        [ ("imports", string_of_int (List.length image.Image.Gelf.imports)) ])
+      (fun () ->
+        Obs.Profile.time (Lazy.force m_resolve_ns) (fun () ->
+            List.partition_map resolve_one image.Image.Gelf.imports))
+  in
+  Obs.Metrics.add (Lazy.force m_resolved) (List.length table);
+  Obs.Metrics.add (Lazy.force m_unresolved) (List.length unres);
   { table; unres }
 
 let entries t = t.table
@@ -35,4 +52,5 @@ let cause_name = function
   | No_plt_slot -> "no PLT slot"
 
 let lookup t addr =
-  List.find_opt (fun e -> Int64.equal e.plt_addr addr) t.table
+  Obs.Profile.time (Lazy.force m_lookup_ns) (fun () ->
+      List.find_opt (fun e -> Int64.equal e.plt_addr addr) t.table)

@@ -40,11 +40,22 @@ type t = {
 let busy : bool ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref false)
 
+(* Pool utilization: tasks are counted in the worker that ran them
+   (the sharded registry merges them on snapshot), drain spans show
+   each worker's busy window per batch, and the batch-size histogram
+   plus the jobs gauge give the denominator for utilization. *)
+let m_tasks = lazy (Obs.Metrics.counter "pool.tasks")
+let m_batches = lazy (Obs.Metrics.counter "pool.batches")
+let m_batch_tasks = lazy (Obs.Metrics.histogram "pool.batch.tasks")
+let m_drain_ns = lazy (Obs.Metrics.histogram "pool.drain.ns")
+let m_jobs = lazy (Obs.Metrics.gauge "pool.jobs")
+
 let drain t b =
   let rec go () =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.n then begin
       b.run i;
+      Obs.Metrics.incr (Lazy.force m_tasks);
       if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
         Mutex.lock t.m;
         Condition.broadcast t.finished;
@@ -53,7 +64,8 @@ let drain t b =
       go ()
     end
   in
-  go ()
+  Obs.Trace.with_span ~cat:"pool" "drain" (fun () ->
+      Obs.Profile.time (Lazy.force m_drain_ns) go)
 
 let worker t =
   let flag = Domain.DLS.get busy in
@@ -142,6 +154,12 @@ let map t f xs =
   else begin
     let arr = Array.of_list xs in
     let results = Array.make n None in
+    Obs.Metrics.incr (Lazy.force m_batches);
+    Obs.Metrics.observe (Lazy.force m_batch_tasks) n;
+    Obs.Metrics.set (Lazy.force m_jobs) t.jobs;
+    Obs.Trace.instant ~cat:"pool"
+      ~args:(fun () -> [ ("tasks", string_of_int n) ])
+      "submit";
     flag := true;
     Fun.protect
       ~finally:(fun () -> flag := false)

@@ -16,5 +16,22 @@ let run_pass = function
   | Mem_elim -> Memopt.run
   | Fence_merge -> Fenceopt.run
 
+(* Per-pass wall-clock histograms (opt.<pass>.ns), registered on first
+   use so a pipeline run can be attributed pass by pass. *)
+let pass_hists =
+  lazy
+    (List.map
+       (fun p -> (p, Obs.Metrics.histogram ("opt." ^ pass_name p ^ ".ns")))
+       all)
+
+let pass_hist p = List.assq p (Lazy.force pass_hists)
+
 let run passes (b : Block.t) =
-  { b with ops = List.fold_left (fun ops p -> run_pass p ops) b.ops passes }
+  let ops =
+    List.fold_left
+      (fun ops p ->
+        Obs.Trace.with_span ~cat:"opt" (pass_name p) (fun () ->
+            Obs.Profile.time (pass_hist p) (fun () -> run_pass p ops)))
+      b.ops passes
+  in
+  { b with ops }

@@ -12,4 +12,9 @@ val qemu_default : pass list
 val risotto_default : pass list
 
 val run_pass : pass -> Op.t list -> Op.t list
+
+(** Run the passes in order.  Each pass executes under an [opt]-category
+    {!Obs.Trace} span and, when metrics are enabled, its wall time is
+    recorded into the [opt.<pass>.ns] histogram — both invisible to the
+    transformation itself. *)
 val run : pass list -> Block.t -> Block.t

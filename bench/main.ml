@@ -14,6 +14,25 @@
 
 let ppf = Format.std_formatter
 
+(* Common artifact envelope: every BENCH_*.json opens with the same
+   self-describing fields (schema_version / section / git_rev) so report
+   tooling can validate any artifact the same way; the pre-existing
+   per-bench fields follow unchanged at the top level (CI greps them by
+   name). *)
+let git_rev =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       ignore (Unix.close_process_in ic);
+       if line = "" then "unknown" else line
+     with _ -> "unknown")
+
+let envelope sec =
+  Printf.sprintf
+    "\"schema_version\": 1,\n  \"section\": %S,\n  \"git_rev\": %S," sec
+    (Lazy.force git_rev)
+
 let section title =
   Format.printf "@.===================================================@.";
   Format.printf "== %s@." title;
@@ -337,6 +356,7 @@ let refinement_bench ~jobs ~reps ~out () =
   let oc = open_out out in
   Printf.fprintf oc
     {|{
+  %s
   "bench": "corpus x schemes refinement sweep",
   "schemes": %d,
   "corpus_programs": %d,
@@ -352,6 +372,7 @@ let refinement_bench ~jobs ~reps ~out () =
   "behaviour_cache": { "hits": %d, "misses": %d }
 }
 |}
+    (envelope "refinement")
     (List.length all_schemes)
     (List.length Litmus.Catalog.mapping_corpus)
     (List.length tasks) reps jobs
@@ -479,6 +500,7 @@ let dispatch_bench ~reps ~out () =
   let oc = open_out out in
   Printf.fprintf oc
     {|{
+  %s
   "bench": "dispatch: chained vs unchained vs interp",
   "kernels": %d,
   "reps": %d,
@@ -510,6 +532,7 @@ let dispatch_bench ~reps ~out () =
   "results_identical": %b
 }
 |}
+    (envelope "dispatch")
     (List.length Harness.Parsec.all)
     reps chained.Core.Config.trace_threshold guest_blocks chained_s c_cycles
     c_exec c_cpb chained_edges chain_hits jcache_hits superblocks
@@ -618,6 +641,7 @@ let obs_bench ~reps ~out ~trace_out () =
   let oc = open_out out in
   Printf.fprintf oc
     {|{
+  %s
   "bench": "observability: parity and disabled overhead",
   "kernels": %d,
   "reps": %d,
@@ -631,6 +655,7 @@ let obs_bench ~reps ~out ~trace_out () =
   "trace_events": %d
 }
 |}
+    (envelope "obs")
     (List.length Harness.Parsec.all)
     reps off_s met_s trace_s parity probe_ns block_ns overhead_pct
     trace_events;

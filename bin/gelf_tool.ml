@@ -62,13 +62,14 @@ let dis path =
   0
 
 let run path config_name trace_out debug metrics inject no_chain
-    trace_threshold =
+    trace_threshold report =
   if debug then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.Src.set_level Core.Engine.log_src (Some Logs.Debug)
   end;
   if trace_out <> None then Obs.Trace.enable ();
-  if metrics then Obs.Metrics.enable ();
+  (* --report needs the metrics snapshot, so it implies the registry. *)
+  if metrics || report <> None then Obs.Metrics.enable ();
   match List.assoc_opt config_name configs with
   | None ->
       Format.eprintf "unknown config %S (one of: %s)@." config_name
@@ -110,8 +111,9 @@ let run path config_name trace_out debug metrics inject no_chain
           | Some f ->
               Format.printf "guest trap: %s@." (Core.Fault.to_string f)
           | None -> ());
-          if metrics then begin
+          if metrics || report <> None then
             Core.Engine.publish_metrics eng;
+          if metrics then begin
             Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ());
             (match Core.Engine.hot_blocks eng with
             | [] -> ()
@@ -121,6 +123,16 @@ let run path config_name trace_out debug metrics inject no_chain
                   (fun e -> Format.printf "  %a@." Obs.Profile.pp_entry e)
                   hot)
           end;
+          (match report with
+          | Some dir ->
+              let bench = Report.Html.load_bench_dir dir in
+              let html, _ =
+                Report.Html.write ~dir
+                  ~title:(Printf.sprintf "Risotto DBT run: %s" path)
+                  ~metrics:(Obs.Metrics.snapshot ()) ~bench []
+              in
+              Format.printf "wrote %s to %s@." html dir
+          | None -> ());
           (match trace_out with
           | Some out ->
               let n = Obs.Trace.write out in
@@ -222,11 +234,23 @@ let trace_threshold_arg =
            former block boundaries.  0 (default) disables superblock \
            formation.")
 
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"DIR"
+        ~doc:
+          "Write a self-contained HTML run report (metrics snapshot plus \
+           a bench-trajectory section over every $(b,BENCH_*.json) found \
+           in $(docv)) to $(docv)/report.html.  Implies $(b,--metrics) \
+           collection.")
+
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run an image under the DBT")
     Term.(
       const run $ path_arg $ config_arg $ trace_arg $ debug_arg
-      $ metrics_arg $ inject_arg $ no_chain_arg $ trace_threshold_arg)
+      $ metrics_arg $ inject_arg $ no_chain_arg $ trace_threshold_arg
+      $ report_arg)
 
 let () =
   exit

@@ -69,6 +69,63 @@ let report_one model verbose path outcome =
           v.Litmus.Enumerate.witnesses;
       v.Litmus.Enumerate.ok
 
+(* --report DIR: run the refinement sweep (all schemes × mapping corpus,
+   plus the FMR transformation counterexample) with witness capture and
+   the axiom-coverage probe, and write the self-contained HTML report
+   plus one JSON artifact per witness.  Exit is nonzero when any
+   refinement check in the sweep fails — known-bad schemes in the
+   default sweep make that the expected outcome. *)
+let run_report dir scheme_filters metrics =
+  let entries = Report.Sweep.default_entries () in
+  let entries =
+    match scheme_filters with
+    | [] -> entries
+    | fs ->
+        List.filter
+          (fun (e : Report.Sweep.entry) ->
+            List.mem e.Report.Sweep.scheme fs)
+          entries
+  in
+  if entries = [] then begin
+    Format.eprintf "no scheme matches %s (known: %s)@."
+      (String.concat ", " scheme_filters)
+      (String.concat ", "
+         (List.map
+            (fun (e : Report.Sweep.entry) -> e.Report.Sweep.scheme)
+            (Report.Sweep.default_entries ())));
+    2
+  end
+  else begin
+    let coverage = Report.Coverage.create () in
+    let cells = Report.Sweep.run ~capture:true ~coverage entries in
+    let models =
+      List.sort_uniq
+        (fun (a : Axiom.Model.t) b ->
+          compare a.Axiom.Model.name b.Axiom.Model.name)
+        (List.map
+           (fun (e : Report.Sweep.entry) -> e.Report.Sweep.src_model)
+           entries)
+    in
+    let bench = Report.Html.load_bench_dir dir in
+    let metrics_snap =
+      if metrics then Some (Obs.Metrics.snapshot ()) else None
+    in
+    let html, witnesses =
+      Report.Html.write ~dir ?metrics:metrics_snap ~coverage ~models ~bench
+        cells
+    in
+    List.iter
+      (fun (c : Report.Sweep.cell) ->
+        Format.printf "%-32s VIOLATION (%d extra, %d witness(es))@."
+          c.Report.Sweep.report.Mapping.Check.name
+          (List.length c.Report.Sweep.report.Mapping.Check.extra)
+          (List.length c.Report.Sweep.witnesses))
+      (Report.Sweep.failing cells);
+    Format.printf "wrote %s and %d witness artifact(s) to %s@." html
+      (List.length witnesses) dir;
+    if Report.Sweep.all_ok cells then 0 else 1
+  end
+
 let main files model_name verbose jobs metrics =
   if metrics then Obs.Metrics.enable ();
   match List.assoc_opt model_name models with
@@ -94,7 +151,7 @@ let main files model_name verbose jobs metrics =
       if failures = 0 then 0 else 1
 
 let files_arg =
-  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Litmus files.")
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Litmus files.")
 
 let model_arg =
   Arg.(
@@ -123,19 +180,49 @@ let metrics_arg =
            (files checked, verdicts, per-check latency histogram) after \
            the run.")
 
-let main files model_name verbose jobs metrics =
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"DIR"
+        ~doc:
+          "Instead of checking litmus files, run the Theorem-1 refinement \
+           sweep with witness capture and axiom-coverage accounting and \
+           write $(docv)/report.html (self-contained: inline SVG witness \
+           graphs, coverage matrix, bench trajectory over any \
+           $(b,BENCH_*.json) in $(docv)) plus one JSON artifact per \
+           witness.  Exits nonzero if any refinement check fails.")
+
+let scheme_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "scheme" ] ~docv:"NAME"
+        ~doc:
+          "With $(b,--report): restrict the sweep to this scheme \
+           (repeatable; default all).")
+
+let main files model_name verbose jobs metrics report schemes =
   let jobs =
     match jobs with
     | Some 0 -> Some (Domain.recommended_domain_count ())
     | j -> j
   in
-  main files model_name verbose jobs metrics
+  match report with
+  | Some dir ->
+      if metrics then Obs.Metrics.enable ();
+      run_report dir schemes metrics
+  | None ->
+      if files = [] then begin
+        Format.eprintf "no litmus files given (or use --report DIR)@.";
+        2
+      end
+      else main files model_name verbose jobs metrics
 
 let cmd =
   Cmd.v
     (Cmd.info "litmus_run" ~doc:"Check litmus files against their expectations")
     Term.(
       const main $ files_arg $ model_arg $ verbose_arg $ jobs_arg
-      $ metrics_arg)
+      $ metrics_arg $ report_arg $ scheme_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -10,44 +10,119 @@ let model_of = function
   | Arm v -> Arm_cats.model v
   | Tcg -> Tcg_model.model
 
+(* Models carry only a name and a predicate; the diagnostics need the
+   per-axiom decomposition, so resolve back to [which] by name. *)
+let which_of_model (m : Model.t) =
+  if m.Model.name = Sc_model.model.Model.name then Some Sc
+  else if m.Model.name = X86_tso.model.Model.name then Some X86
+  else if m.Model.name = (Arm_cats.model Arm_cats.Original).Model.name then
+    Some (Arm Arm_cats.Original)
+  else if m.Model.name = (Arm_cats.model Arm_cats.Corrected).Model.name then
+    Some (Arm Arm_cats.Corrected)
+  else if m.Model.name = Tcg_model.model.Model.name then Some Tcg
+  else None
+
 let coherence_rel x =
   Rel.union_all
     [ Execution.po_loc x; x.Execution.rf; x.Execution.co; Execution.fr x ]
 
+let global_axiom_name = function
+  | Sc -> "sequential consistency (po ∪ rf ∪ co ∪ fr)"
+  | X86 -> "x86 (GHB)"
+  | Arm _ -> "Arm (external: ob)"
+  | Tcg -> "TCG (GOrd: ghb)"
+
+(* The axioms of a model, in checking order, each as a lazy violation
+   finder returning a witness cycle.  [check] stops at the first
+   violation; [check_all] drains the whole list. *)
+let axiom_checks which x =
+  let cyc name rel = (name, fun () -> Rel.find_cycle (rel ())) in
+  let coherence = cyc "sc-per-loc (coherence)" (fun () -> coherence_rel x) in
+  let global =
+    let rel =
+      match which with
+      | Sc ->
+          fun () ->
+            Rel.union_all
+              [ x.Execution.po; x.Execution.rf; x.Execution.co; Execution.fr x ]
+      | X86 -> fun () -> X86_tso.ghb_base x
+      | Arm v -> fun () -> Arm_cats.ob_base v x
+      | Tcg -> fun () -> Tcg_model.ghb_base x
+    in
+    cyc (global_axiom_name which) rel
+  in
+  let atomicity =
+    ( "atomicity",
+      fun () ->
+        let bad =
+          Rel.inter (Execution.rmw x)
+            (Rel.compose (Execution.fre x) (Execution.coe x))
+        in
+        match Rel.to_list bad with
+        | (r, w) :: _ -> Some [ r; w ]
+        | [] -> None )
+  in
+  [ coherence; global; atomicity ]
+
+let axiom_names which =
+  [ "sc-per-loc (coherence)"; global_axiom_name which; "atomicity" ]
+
 let check which x =
-  let try_axiom name rel k =
-    match Rel.find_cycle rel with
-    | Some cycle -> Violates { axiom = name; cycle }
-    | None -> k ()
-  in
-  let atomicity () =
-    let bad = Rel.inter (Execution.rmw x) (Rel.compose (Execution.fre x) (Execution.coe x)) in
-    match Rel.to_list bad with
-    | (r, w) :: _ -> Violates { axiom = "atomicity"; cycle = [ r; w ] }
+  let rec first = function
     | [] -> Consistent
+    | (axiom, find) :: rest -> (
+        match find () with
+        | Some cycle -> Violates { axiom; cycle }
+        | None -> first rest)
   in
-  try_axiom "sc-per-loc (coherence)" (coherence_rel x) @@ fun () ->
-  let global () =
-    match which with
-    | Sc ->
-        try_axiom "sequential consistency (po ∪ rf ∪ co ∪ fr)"
-          (Rel.union_all
-             [ x.Execution.po; x.Execution.rf; x.Execution.co; Execution.fr x ])
-          (fun () -> atomicity ())
-    | X86 -> try_axiom "x86 (GHB)" (X86_tso.ghb_base x) (fun () -> atomicity ())
-    | Arm v ->
-        try_axiom "Arm (external: ob)" (Arm_cats.ob_base v x) (fun () ->
-            atomicity ())
-    | Tcg ->
-        try_axiom "TCG (GOrd: ghb)" (Tcg_model.ghb_base x) (fun () ->
-            atomicity ())
+  first (axiom_checks which x)
+
+let check_all which x =
+  List.filter_map
+    (fun (axiom, find) ->
+      match find () with
+      | Some cycle -> Some (Violates { axiom; cycle })
+      | None -> None)
+    (axiom_checks which x)
+
+(* The most specific base relation connecting two consecutive cycle
+   events.  Derived ordering relations (ppo, implied, lob, ord, ...) are
+   compositions along po, so any cycle edge not in rmw/rf/co/fr is a po
+   edge — except the atomicity "cycle", whose closing write→read edge is
+   the fre;coe detour around the RMW pair. *)
+let edge_rel x a b =
+  let candidates =
+    [
+      ("rmw", Execution.rmw x);
+      ("rf", x.Execution.rf);
+      ("co", x.Execution.co);
+      ("fr", Execution.fr x);
+      ("po", x.Execution.po);
+    ]
   in
-  global ()
+  match List.find_opt (fun (_, r) -> Rel.mem a b r) candidates with
+  | Some (name, _) -> name
+  | None ->
+      if Rel.mem a b (Rel.compose (Execution.fre x) (Execution.coe x)) then
+        "fr;co"
+      else "?"
 
 let pp_verdict x ppf = function
   | Consistent -> Fmt.string ppf "consistent"
-  | Violates { axiom; cycle } ->
+  | Violates { axiom; cycle } -> (
       Fmt.pf ppf "violates %s via cycle:@," axiom;
-      List.iter
-        (fun id -> Fmt.pf ppf "    %a@," Event.pp (Execution.find x id))
-        cycle
+      match cycle with
+      | [] -> ()
+      | first :: _ ->
+          let rec go = function
+            | [] -> ()
+            | [ last ] ->
+                (* The cycle is last→first closed. *)
+                Fmt.pf ppf "    %a@,  --%s--> (back to %d)@," Event.pp
+                  (Execution.find x last) (edge_rel x last first) first
+            | a :: (b :: _ as rest) ->
+                Fmt.pf ppf "    %a@,  --%s-->@," Event.pp (Execution.find x a)
+                  (edge_rel x a b);
+                go rest
+          in
+          go cycle)

@@ -1,17 +1,47 @@
 (** Diagnostics: why is an execution inconsistent?
 
-    For each model, checks its axioms in order and reports the first
-    violated one with a witness cycle — the herd-style answer to "why is
-    this outcome forbidden?". *)
+    For each model, checks its axioms in order and reports violated
+    axioms with witness cycles — the herd-style answer to "why is this
+    outcome forbidden?".  {!check} stops at the first violated axiom;
+    {!check_all} reports every violated axiom, which is what the witness
+    reports (lib/report) render. *)
 
 type which = Sc | X86 | Arm of Arm_cats.variant | Tcg
 
 type verdict =
   | Consistent
   | Violates of { axiom : string; cycle : int list }
-      (** [cycle] is a list of event ids; consecutive (and last→first)
-          events are related by the axiom's relation. *)
+      (** [cycle] is a list of event ids in edge order, closed last→first:
+          consecutive events — and the last event back to the first — are
+          related by the axiom's relation.  For the atomicity axiom the
+          "cycle" is the RMW pair [[r; w]]; the closing w→r edge is the
+          [fre; coe] detour that breaks atomicity. *)
 
 val check : which -> Execution.t -> verdict
+
+(** Every violated axiom of the model (in the same checking order as
+    {!check}), each with its witness cycle.  [check_all w x = []] iff
+    [check w x = Consistent], and when [check] reports a violation it is
+    the head of [check_all]'s result. *)
+val check_all : which -> Execution.t -> verdict list
+
+(** The axiom names of a model, in checking order — the row space of the
+    coverage matrix (every [Violates.axiom] is drawn from this list). *)
+val axiom_names : which -> string list
+
 val model_of : which -> Model.t
+
+(** Resolve a model back to its [which] by name ([None] for models
+    outside lib/axiom) — models carry only an opaque predicate, and the
+    diagnostics need the per-axiom decomposition. *)
+val which_of_model : Model.t -> which option
+
+(** The most specific base relation connecting [a] to [b] in [x]:
+    [rmw], [rf], [co], [fr] or [po] (derived ordering relations are
+    po-compositions), with ["fr;co"] for the atomicity closing edge and
+    ["?"] when nothing matches. *)
+val edge_rel : Execution.t -> int -> int -> string
+
+(** Prints the cycle events interleaved with the {!edge_rel} relation
+    names connecting them, including the closing last→first edge. *)
 val pp_verdict : Execution.t -> Format.formatter -> verdict -> unit

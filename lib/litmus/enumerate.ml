@@ -455,6 +455,32 @@ let fold_consistent (m : Axiom.Model.t) p f acc =
 let executions (m : Axiom.Model.t) p =
   List.rev (fold_consistent m p (fun acc x _ -> x :: acc) [])
 
+let consistent_executions (m : Axiom.Model.t) p =
+  List.rev
+    (fold_consistent m p
+       (fun acc x regs -> (x, { mem = X.behaviour x; regs }) :: acc)
+       [])
+
+(* Witness-observability probe (lib/report): enumerate over the full
+   unpruned candidate product so that every rejected candidate — not
+   just the post-prune survivors — reaches [on_reject], where the
+   coverage accounting classifies it by violated axiom.  The returned
+   behaviours are exactly [behaviours m p] (pruning only discards
+   candidates every model rejects); callers pay the unpruned cost only
+   when they opt into the probe. *)
+let behaviours_probed ~on_reject (m : Axiom.Model.t) p =
+  let bs =
+    List.filter_map
+      (fun (x, regs) ->
+        if m.Axiom.Model.consistent x then Some { mem = X.behaviour x; regs }
+        else begin
+          on_reject x;
+          None
+        end)
+      (candidates p)
+  in
+  List.sort_uniq behaviour_compare bs
+
 (* ------------------------------------------------------------------ *)
 (* Behaviours cache                                                    *)
 

@@ -41,6 +41,25 @@ val candidates : Ast.prog -> (Axiom.Execution.t * ((int * string) * int) list) l
     and produces exactly the executions the unpruned path would keep. *)
 val executions : Axiom.Model.t -> Ast.prog -> Axiom.Execution.t list
 
+(** Like {!executions}, with each execution's full behaviour (final
+    memory plus register valuations) — the witness-capture entry point:
+    a concrete execution exhibiting a given behaviour is found by
+    filtering this list. *)
+val consistent_executions :
+  Axiom.Model.t -> Ast.prog -> (Axiom.Execution.t * behaviour) list
+
+(** Behaviours via the {e unpruned} candidate product, calling
+    [on_reject] on every candidate the model's consistency predicate
+    rejects (including those the pruned path would discard before
+    assembly).  Returns exactly what {!behaviours} returns, but bypasses
+    the cache and the per-location pruning — this is the opt-in
+    axiom-coverage probe (lib/report), not a fast path. *)
+val behaviours_probed :
+  on_reject:(Axiom.Execution.t -> unit) ->
+  Axiom.Model.t ->
+  Ast.prog ->
+  behaviour list
+
 (** The set of behaviours of the consistent executions, deduplicated and
     sorted.  Uses the pruned enumeration (see {!executions}) and a
     process-wide, domain-safe cache keyed by (model name, program AST):

@@ -1,0 +1,54 @@
+(** Witness capture for failing refinement checks (paper §5.4 read
+    backwards): when {!Check.refines} reports extra target behaviours,
+    resolve each behaviour back to the concrete executions behind it —
+    the artifacts lib/report renders as execution graphs.
+
+    Capture is a separate pass over an existing {!Check.report}, not a
+    change to the report itself: the default sweep (and its benchmarked
+    shape) is untouched, and witnesses are only enumerated for the
+    failing checks one asks about. *)
+
+type t = {
+  behaviour : Litmus.Enumerate.behaviour;  (** the extra target behaviour *)
+  target : Axiom.Execution.t;
+      (** a consistent {e target} execution exhibiting it *)
+  forbidden : Axiom.Execution.t option;
+      (** the inconsistent {e source} candidate closest to the behaviour
+          — the execution whose axiom violations explain why the source
+          forbids it ([None] only if the source rejects no candidate) *)
+  violations : Axiom.Explain.verdict list;
+      (** [Explain.check_all] on [forbidden] under the source model *)
+  nearest : (Axiom.Execution.t * Litmus.Enumerate.behaviour) option;
+      (** the consistent source execution with the closest behaviour *)
+}
+
+(** Number of differing (memory ∪ register) bindings between two
+    behaviours — the metric behind [forbidden]/[nearest] selection. *)
+val distance : Litmus.Enumerate.behaviour -> Litmus.Enumerate.behaviour -> int
+
+(** One witness per extra behaviour of a failing report (at most
+    [max_witnesses], default 3; [[]] when the report is ok). *)
+val capture :
+  ?max_witnesses:int ->
+  src_model:Axiom.Model.t ->
+  tgt_model:Axiom.Model.t ->
+  src:Litmus.Ast.prog ->
+  tgt:Litmus.Ast.prog ->
+  Check.report ->
+  t list
+
+(** Instructions in a program, counting [If] nodes and the instructions
+    of both branches. *)
+val instruction_count : Litmus.Ast.prog -> int
+
+(** Greedy shrinker: repeatedly delete single instruction sites (an [If]
+    site deletes its whole subtree) while
+    [refines ~src ~tgt:(scheme src)] still fails, to a fixpoint.  The
+    result is never larger than the input; if the input does not fail
+    the refinement it is returned unchanged. *)
+val shrink :
+  scheme:(Litmus.Ast.prog -> Litmus.Ast.prog) ->
+  src_model:Axiom.Model.t ->
+  tgt_model:Axiom.Model.t ->
+  Litmus.Ast.prog ->
+  Litmus.Ast.prog

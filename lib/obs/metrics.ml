@@ -186,6 +186,18 @@ let find_counter snap name = List.assoc_opt name snap.counters
 let find_gauge snap name = List.assoc_opt name snap.gauges
 let find_histogram snap name = List.assoc_opt name snap.histograms
 
+let counters_with_prefix snap prefix =
+  List.filter_map
+    (fun (name, v) ->
+      if String.starts_with ~prefix name then
+        let suffix =
+          String.sub name (String.length prefix)
+            (String.length name - String.length prefix)
+        in
+        Some (suffix, v)
+      else None)
+    snap.counters
+
 let pp ppf snap =
   Format.fprintf ppf "@[<v>counters:@,";
   List.iter

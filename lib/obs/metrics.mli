@@ -65,6 +65,11 @@ val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> int option
 val find_histogram : snapshot -> string -> hist_snap option
 
+(** Counters whose name starts with [prefix], with the prefix stripped,
+    in name order — how namespaced counter families (e.g. the
+    axiom-coverage [axiom.reject.*] counters) are read back out. *)
+val counters_with_prefix : snapshot -> string -> (string * int) list
+
 (** Human-readable dump: counters, gauges, then histograms with count,
     sum, mean and the non-empty buckets. *)
 val pp : Format.formatter -> snapshot -> unit

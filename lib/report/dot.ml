@@ -1,0 +1,109 @@
+open Relalg
+
+type highlight = { axiom : string; cycle : int list }
+
+(* The base edge families drawn for an execution, in rendering order:
+   immediate program order (transitively-implied po edges only clutter),
+   full rf, per-location immediate co, full fr. *)
+let base_edges (x : Axiom.Execution.t) =
+  [
+    ("po", Rel.to_list (Rel.immediate x.Axiom.Execution.po));
+    ("rf", Rel.to_list x.Axiom.Execution.rf);
+    ("co", Rel.to_list (Rel.immediate x.Axiom.Execution.co));
+    ("fr", Rel.to_list (Axiom.Execution.fr x));
+  ]
+
+let edge_attrs = function
+  | "po" -> "color=\"black\""
+  | "rf" -> "color=\"forestgreen\",fontcolor=\"forestgreen\""
+  | "co" -> "color=\"blue\",fontcolor=\"blue\""
+  | "fr" -> "color=\"darkorange\",fontcolor=\"darkorange\""
+  | _ -> ""
+
+(* The closed edge list of a cycle: consecutive pairs plus last→first
+   (see [Axiom.Explain.verdict]). *)
+let cycle_edges = function
+  | [] -> []
+  | first :: _ as cycle ->
+      let rec go = function
+        | [] -> []
+        | [ last ] -> [ (last, first) ]
+        | a :: (b :: _ as rest) -> (a, b) :: go rest
+      in
+      go cycle
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let node_label (e : Axiom.Event.t) =
+  escape
+    (Format.asprintf "%d: %a" e.Axiom.Event.id Axiom.Event.pp_label
+       e.Axiom.Event.label)
+
+let render ?(name = "execution") ?(highlights = []) (x : Axiom.Execution.t) =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph \"%s\" {\n" (escape name);
+  pf "  rankdir=TB;\n";
+  pf "  node [shape=box,fontname=\"monospace\",fontsize=10];\n";
+  pf "  edge [fontname=\"monospace\",fontsize=9];\n";
+  (* One cluster per thread, init writes first; events within a cluster
+     in id order (ids are po-ordered per thread). *)
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun e -> e.Axiom.Event.tid) x.Axiom.Execution.events)
+  in
+  List.iter
+    (fun tid ->
+      let events =
+        List.sort
+          (fun a b -> compare a.Axiom.Event.id b.Axiom.Event.id)
+          (List.filter
+             (fun e -> e.Axiom.Event.tid = tid)
+             x.Axiom.Execution.events)
+      in
+      let cluster_name =
+        if tid = Axiom.Event.init_tid then "init" else Printf.sprintf "T%d" tid
+      in
+      pf "  subgraph \"cluster_%s\" {\n" cluster_name;
+      pf "    label=\"%s\";\n" cluster_name;
+      pf "    style=dashed;\n";
+      List.iter
+        (fun e -> pf "    e%d [label=\"%s\"];\n" e.Axiom.Event.id (node_label e))
+        events;
+      pf "  }\n")
+    tids;
+  List.iter
+    (fun (family, edges) ->
+      List.iter
+        (fun (a, b) ->
+          pf "  e%d -> e%d [label=\"%s\",%s];\n" a b family
+            (edge_attrs family))
+        edges)
+    (base_edges x);
+  (* Violated-axiom cycles: drawn as extra crimson edges on top of the
+     base families, the first edge labelled with the axiom name. *)
+  List.iter
+    (fun { axiom; cycle } ->
+      List.iteri
+        (fun i (a, b) ->
+          let label =
+            if i = 0 then escape axiom else Axiom.Explain.edge_rel x a b
+          in
+          pf
+            "  e%d -> e%d \
+             [label=\"%s\",color=\"crimson\",fontcolor=\"crimson\",penwidth=2.0,constraint=false];\n"
+            a b label)
+        (cycle_edges cycle))
+    highlights;
+  pf "}\n";
+  Buffer.contents buf

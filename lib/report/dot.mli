@@ -1,0 +1,24 @@
+(** Herd-style Graphviz rendering of executions: events as boxed nodes
+    grouped in per-thread clusters, po/rf/co/fr edges colour-coded, and
+    violated-axiom cycles overlaid as crimson edges labelled with the
+    axiom name. *)
+
+type highlight = { axiom : string; cycle : int list }
+    (** [cycle] in {!Axiom.Explain.verdict} convention (closed
+        last→first). *)
+
+(** The base edge families drawn, in order: [("po", immediate po);
+    ("rf", rf); ("co", immediate co); ("fr", fr)].  Exposed so tests can
+    predict the rendered edge count: a render has exactly
+    [Σ |family| + Σ |cycle|] edges. *)
+val base_edges : Axiom.Execution.t -> (string * (int * int) list) list
+
+(** The closed edge list of a cycle (consecutive pairs plus
+    last→first); [[]] for the empty cycle. *)
+val cycle_edges : int list -> (int * int) list
+
+val render :
+  ?name:string ->
+  ?highlights:highlight list ->
+  Axiom.Execution.t ->
+  string

@@ -1,0 +1,46 @@
+(** Self-contained HTML refinement + bench report: one file, no external
+    assets (inline CSS, execution graphs as inline SVG with the DOT
+    source embedded in a [<details>] block).
+
+    Output is deterministic for equal inputs — no timestamps, and every
+    collection is rendered in sorted order — so two runs over the same
+    repo state produce byte-identical reports (pinned by
+    [test/test_report.ml]). *)
+
+(** Inline SVG of an execution: threads as columns (init leftmost),
+    events in po order top-to-bottom, po/rf/co/fr edges colour-coded and
+    [highlights] cycles overlaid as dashed crimson edges labelled with
+    the axiom name. *)
+val svg_of_execution :
+  ?highlights:Dot.highlight list -> Axiom.Execution.t -> string
+
+(** All [BENCH_*.json] files of a directory (name-sorted), parsed;
+    unreadable directories yield [[]], unparseable files a
+    [Json.String "unparseable: …"] marker. *)
+val load_bench_dir : string -> (string * Json.t) list
+
+(** Render the full report: sweep table, witness graphs, coverage
+    matrix (with [models] supplying the axiom row space for blind-spot
+    detection), metrics snapshot and one bench-trajectory table per
+    [BENCH_*.json]. *)
+val render :
+  ?title:string ->
+  ?metrics:Obs.Metrics.snapshot ->
+  ?coverage:Coverage.t ->
+  ?models:Axiom.Model.t list ->
+  ?bench:(string * Json.t) list ->
+  Sweep.cell list ->
+  string
+
+(** Write [report.html] plus one [witness-<scheme>-<program>-<n>.json]
+    per captured witness into [dir] (created if missing); returns the
+    HTML filename and the witness filenames written. *)
+val write :
+  dir:string ->
+  ?title:string ->
+  ?metrics:Obs.Metrics.snapshot ->
+  ?coverage:Coverage.t ->
+  ?models:Axiom.Model.t list ->
+  ?bench:(string * Json.t) list ->
+  Sweep.cell list ->
+  string * string list

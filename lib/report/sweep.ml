@@ -1,0 +1,207 @@
+module En = Litmus.Enumerate
+module X = Axiom.Execution
+
+type entry = {
+  scheme : string;
+  f : Litmus.Ast.prog -> Litmus.Ast.prog;
+  src_model : Axiom.Model.t;
+  tgt_model : Axiom.Model.t;
+  corpus : (string * Litmus.Ast.prog) list;
+}
+
+type cell = {
+  scheme : string;
+  program : string;
+  report : Mapping.Check.report;
+  witnesses : Mapping.Witness.t list;
+  shrunk : Litmus.Ast.prog option;
+}
+
+(* The bench sweep's scheme table (bench/main.ml) plus the paper's §3.2
+   FMR counterexample as a pseudo-scheme: FMR is an IR transformation
+   bug, not a mapping bug, but its refinement check has the same shape —
+   source and target are both TCG programs, the "mapping" is one
+   application of the unsound RAW rewrite. *)
+let default_entries () =
+  let open Mapping.Schemes in
+  let x86 = Axiom.X86_tso.model in
+  let tcg = Axiom.Tcg_model.model in
+  let arm_orig = Axiom.Arm_cats.model Axiom.Arm_cats.Original in
+  let arm_fix = Axiom.Arm_cats.model Axiom.Arm_cats.Corrected in
+  let rmw2_fe, rmw2_be = risotto_rmw2_preset in
+  let casal_fe, casal_be = risotto_casal_preset in
+  let qemu_fe, qemu_be = qemu_preset in
+  let corpus = Litmus.Catalog.mapping_corpus in
+  let mk scheme f src_model tgt_model =
+    { scheme; f; src_model; tgt_model; corpus }
+  in
+  let raw_fmr =
+    let apply_raw p =
+      match Mapping.Transform.applications Mapping.Transform.Raw p with
+      | t :: _ -> t
+      | [] -> p
+    in
+    {
+      scheme = "transform-raw";
+      f = apply_raw;
+      src_model = tcg;
+      tgt_model = tcg;
+      corpus = [ ("FMR", Litmus.Catalog.fmr_tcg_src) ];
+    }
+  in
+  [
+    mk "fig7a/x86->tcg" (x86_to_tcg Risotto_frontend) x86 tcg;
+    mk "fig2/x86->tcg" (x86_to_tcg Qemu_frontend) x86 tcg;
+    mk "qemu-gcc10/arm-fix" (x86_to_arm qemu_fe qemu_be) x86 arm_fix;
+    mk "qemu-gcc9/arm-fix"
+      (x86_to_arm Qemu_frontend { lowering = `Qemu; rmw = Helper_gcc9 })
+      x86 arm_fix;
+    mk "risotto-rmw2/arm-orig" (x86_to_arm rmw2_fe rmw2_be) x86 arm_orig;
+    mk "risotto-rmw2/arm-fix" (x86_to_arm rmw2_fe rmw2_be) x86 arm_fix;
+    mk "risotto-casal/arm-orig" (x86_to_arm casal_fe casal_be) x86 arm_orig;
+    mk "risotto-casal/arm-fix" (x86_to_arm casal_fe casal_be) x86 arm_fix;
+    mk "armcats-direct/arm-orig" x86_to_arm_direct_armcats x86 arm_orig;
+    mk "armcats-direct/arm-fix" x86_to_arm_direct_armcats x86 arm_fix;
+    mk "no-fences/arm-fix"
+      (x86_to_arm No_fences_frontend { lowering = `Risotto; rmw = Risotto_rmw1 })
+      x86 arm_fix;
+    raw_fmr;
+  ]
+
+let run ?(capture = false) ?coverage ?max_witnesses entries =
+  List.concat_map
+    (fun e ->
+      List.map
+        (fun (program, src) ->
+          let tgt = e.f src in
+          let report =
+            Mapping.Check.refines ~src_model:e.src_model
+              ~tgt_model:e.tgt_model ~src ~tgt
+          in
+          let report =
+            {
+              report with
+              Mapping.Check.name = Printf.sprintf "%s: %s" e.scheme program;
+            }
+          in
+          (* The verdict above comes from the untouched default path;
+             the probes below are additive and opt-in. *)
+          (match coverage with
+          | None -> ()
+          | Some cov ->
+              ignore
+                (En.behaviours_probed
+                   ~on_reject:(fun x ->
+                     Coverage.record cov ~scheme:e.scheme ~program
+                       ~model:e.src_model x)
+                   e.src_model src));
+          let witnesses, shrunk =
+            if capture && not report.Mapping.Check.ok then
+              ( Mapping.Witness.capture ?max_witnesses
+                  ~src_model:e.src_model ~tgt_model:e.tgt_model ~src ~tgt
+                  report,
+                Some
+                  (Mapping.Witness.shrink ~scheme:e.f ~src_model:e.src_model
+                     ~tgt_model:e.tgt_model src) )
+            else ([], None)
+          in
+          { scheme = e.scheme; program; report; witnesses; shrunk })
+        e.corpus)
+    entries
+
+let all_ok cells = List.for_all (fun c -> c.report.Mapping.Check.ok) cells
+let failing cells = List.filter (fun c -> not c.report.Mapping.Check.ok) cells
+
+(* ------------------------------------------------------------------ *)
+(* JSON artifacts *)
+
+let json_of_behaviour (b : En.behaviour) =
+  Json.Obj
+    [
+      ( "mem",
+        Json.List
+          (List.map
+             (fun (loc, v) ->
+               Json.Obj [ ("loc", Json.String loc); ("value", Json.Int v) ])
+             b.En.mem) );
+      ( "regs",
+        Json.List
+          (List.map
+             (fun ((tid, reg), v) ->
+               Json.Obj
+                 [
+                   ("tid", Json.Int tid);
+                   ("reg", Json.String reg);
+                   ("value", Json.Int v);
+                 ])
+             b.En.regs) );
+    ]
+
+let json_of_rel r =
+  Json.List
+    (List.map
+       (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ])
+       (Relalg.Rel.to_list r))
+
+let json_of_execution (x : X.t) =
+  Json.Obj
+    [
+      ( "events",
+        Json.List
+          (List.map
+             (fun (e : Axiom.Event.t) ->
+               Json.Obj
+                 [
+                   ("id", Json.Int e.Axiom.Event.id);
+                   ("tid", Json.Int e.Axiom.Event.tid);
+                   ( "label",
+                     Json.String
+                       (Format.asprintf "%a" Axiom.Event.pp_label
+                          e.Axiom.Event.label) );
+                 ])
+             (List.sort
+                (fun (a : Axiom.Event.t) b ->
+                  compare a.Axiom.Event.id b.Axiom.Event.id)
+                x.X.events)) );
+      ("po", json_of_rel x.X.po);
+      ("rf", json_of_rel x.X.rf);
+      ("co", json_of_rel x.X.co);
+      ("fr", json_of_rel (X.fr x));
+    ]
+
+let json_of_verdict = function
+  | Axiom.Explain.Consistent ->
+      Json.Obj [ ("consistent", Json.Bool true) ]
+  | Axiom.Explain.Violates { axiom; cycle } ->
+      Json.Obj
+        [
+          ("axiom", Json.String axiom);
+          ("cycle", Json.List (List.map (fun i -> Json.Int i) cycle));
+        ]
+
+(* Witness artifact envelope: same leading fields as the BENCH_*.json
+   envelope, so one schema check covers both artifact families. *)
+let witness_json (c : cell) (w : Mapping.Witness.t) =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("section", Json.String "witness");
+      ("scheme", Json.String c.scheme);
+      ("program", Json.String c.program);
+      ("behaviour", json_of_behaviour w.Mapping.Witness.behaviour);
+      ("target", json_of_execution w.Mapping.Witness.target);
+      ( "forbidden",
+        match w.Mapping.Witness.forbidden with
+        | Some x -> json_of_execution x
+        | None -> Json.Null );
+      ( "violations",
+        Json.List (List.map json_of_verdict w.Mapping.Witness.violations) );
+      ( "nearest_behaviour",
+        match w.Mapping.Witness.nearest with
+        | Some (_, b) -> json_of_behaviour b
+        | None -> Json.Null );
+      ( "shrunk_instructions",
+        match c.shrunk with
+        | Some p -> Json.Int (Mapping.Witness.instruction_count p)
+        | None -> Json.Null );
+    ]

@@ -1,0 +1,58 @@
+(** The refinement sweep behind the witness report: every (scheme,
+    corpus program) refinement verdict, optionally decorated with
+    captured witnesses, shrunk counterexamples and axiom-coverage
+    accounting.
+
+    Verdicts always come from the unmodified {!Mapping.Check.refines}
+    path; witness capture and the coverage probe are additive passes
+    that run only when asked for, so a plain [run] is observationally
+    the bench sweep. *)
+
+type entry = {
+  scheme : string;
+  f : Litmus.Ast.prog -> Litmus.Ast.prog;
+  src_model : Axiom.Model.t;
+  tgt_model : Axiom.Model.t;
+  corpus : (string * Litmus.Ast.prog) list;
+}
+
+type cell = {
+  scheme : string;
+  program : string;
+  report : Mapping.Check.report;
+  witnesses : Mapping.Witness.t list;  (** [] unless captured *)
+  shrunk : Litmus.Ast.prog option;
+      (** shrunk source counterexample, for failing cells when captured *)
+}
+
+(** The bench sweep's eleven schemes over the mapping corpus, plus the
+    §3.2 FMR transformation counterexample as the pseudo-scheme
+    ["transform-raw"] (source = target = TCG model, the mapping is one
+    unsound RAW rewrite).  Known-failing cells: MPQ under qemu-gcc10 and
+    fig2; MPQ/SB+rmws/SBQ/SBAL under qemu-gcc9; SBAL under the
+    arm-orig direct/casal schemes; FMR under transform-raw. *)
+val default_entries : unit -> entry list
+
+(** [run ~capture ~coverage entries]: check every (scheme, program)
+    cell.  With [capture] (default false), failing cells carry witnesses
+    ({!Mapping.Witness.capture}, at most [max_witnesses] each) and a
+    shrunk counterexample.  With [coverage], every source-program
+    candidate rejected by the source model is accounted via
+    {!Coverage.record}. *)
+val run :
+  ?capture:bool ->
+  ?coverage:Coverage.t ->
+  ?max_witnesses:int ->
+  entry list ->
+  cell list
+
+val all_ok : cell list -> bool
+val failing : cell list -> cell list
+
+val json_of_behaviour : Litmus.Enumerate.behaviour -> Json.t
+val json_of_execution : Axiom.Execution.t -> Json.t
+
+(** Self-describing witness artifact with the common envelope
+    ([schema_version], [section = "witness"], [scheme], [program], ...)
+    shared with the BENCH_*.json files. *)
+val witness_json : cell -> Mapping.Witness.t -> Json.t

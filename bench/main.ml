@@ -677,6 +677,286 @@ let obs_bench ~reps ~out ~trace_out () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Chaos campaign: seeded fault plans over the resilience sites
+   (pool-task, journal-write, cache-write) → BENCH_chaos.json.
+
+   Each campaign runs a reduced journaled sweep under a deterministic
+   injection plan, then resumes without chaos and asserts the
+   robustness invariants: no verdict lost, none duplicated, every
+   failure typed, and the resumed verdict table identical to a
+   fault-free reference run. *)
+
+let chaos_entries () =
+  List.filter
+    (fun (e : Report.Sweep.entry) ->
+      List.mem e.Report.Sweep.scheme [ "fig2/x86->tcg"; "transform-raw" ])
+    (Report.Sweep.default_entries ())
+
+let cell_sig (c : Report.Sweep.cell) =
+  ( c.Report.Sweep.scheme,
+    c.Report.Sweep.program,
+    c.Report.Sweep.report.Mapping.Check.ok,
+    c.Report.Sweep.report.Mapping.Check.src_behaviours,
+    c.Report.Sweep.report.Mapping.Check.tgt_behaviours )
+
+(* Deterministic plan family: rotate crash-the-journal, flaky-tasks and
+   poison-everything shapes, parameterized by the campaign seed. *)
+let chaos_plan ~seed i =
+  match i mod 3 with
+  | 0 -> Printf.sprintf "nth:journal-write:%d" (1 + ((seed + i) mod 4))
+  | 1 -> Printf.sprintf "seeded:pool-task:%d:300" (seed + i)
+  | _ -> "always:pool-task"
+
+type campaign = {
+  plan : string;
+  crashed : bool;  (* the injected journal tear killed the first run *)
+  first_failures : int;  (* typed failures surfaced by the chaos run *)
+  resumes : int;  (* chaos-free resumes needed to converge *)
+  converged : bool;  (* final table == reference, journal keys unique *)
+}
+
+let run_campaign ~entries ~reference ~tmp i plan_str =
+  (* Cold behaviour caches: each campaign must do the real enumeration
+     work, as a fresh resumed process would. *)
+  Litmus.Enumerate.clear_caches ();
+  let journal = Filename.concat tmp (Printf.sprintf "journal-%d" i) in
+  let inject =
+    match Core.Inject.plan_of_string plan_str with
+    | Ok p -> Core.Inject.create p
+    | Error msg -> failwith msg
+  in
+  let policy =
+    {
+      Parallel.Supervise.default with
+      retries = 2;
+      backoff_s = 0.0005;
+      max_backoff_s = 0.002;
+      chaos = Some (Core.Inject.fire_hook inject Core.Inject.Pool_task);
+    }
+  in
+  let journal_chaos =
+    Core.Inject.fire_hook inject Core.Inject.Journal_write
+  in
+  let crashed, first_failures =
+    match
+      Report.Sweep.run_journaled ~policy ~journal_chaos ~journal entries
+    with
+    | r -> (false, List.length r.Report.Sweep.failures)
+    | exception Parallel.Frontier.Injected_fault _ -> (true, 0)
+  in
+  (* Chaos-free resumes: each retries the cells the chaos run lost.
+     One resume must suffice (the environment is healthy again), but
+     count up to 3 before declaring divergence. *)
+  let rec converge k =
+    if k > 3 then (k - 1, None)
+    else
+      let r = Report.Sweep.run_journaled ~journal entries in
+      if r.Report.Sweep.failures = [] then (k, Some r) else converge (k + 1)
+  in
+  let resumes, final = converge 1 in
+  let converged =
+    match final with
+    | None -> false
+    | Some r ->
+        let table_ok =
+          List.map cell_sig r.Report.Sweep.cells
+          = List.map cell_sig reference
+        in
+        (* The checkpointed journal must hold exactly one record per
+           cell: nothing lost, nothing duplicated. *)
+        let rec_ = Parallel.Frontier.recover_file journal in
+        let keys = List.map fst rec_.Parallel.Frontier.entries in
+        table_ok
+        && List.length keys = List.length reference
+        && List.length (List.sort_uniq compare keys) = List.length keys
+  in
+  { plan = plan_str; crashed; first_failures; resumes; converged }
+
+(* Watchdog: a sub-microsecond deadline must fire as typed timeouts (no
+   hang, no untyped exception) for the cells that do real enumeration
+   work, and a deadline-free resume must then fill the whole table.  A
+   trivial cell may legitimately finish inside the 32-poll clock
+   stride, so the invariant is "timeouts fired, every failure is a
+   typed Timed_out, and completed + timed-out covers the table" rather
+   than "everything timed out". *)
+let run_watchdog ~entries ~reference ~tmp =
+  Litmus.Enumerate.clear_caches ();
+  let journal = Filename.concat tmp "journal-watchdog" in
+  let policy =
+    { Parallel.Supervise.default with deadline_s = Some 1e-6 }
+  in
+  let r = Report.Sweep.run_journaled ~policy ~journal entries in
+  let timeouts =
+    List.length
+      (List.filter
+         (fun (_, _, f) ->
+           match f with
+           | Parallel.Supervise.Timed_out _ -> true
+           | Parallel.Supervise.Quarantined _ -> false)
+         r.Report.Sweep.failures)
+  in
+  let fired =
+    timeouts > 0
+    && timeouts = List.length r.Report.Sweep.failures
+    && List.length r.Report.Sweep.cells + timeouts = List.length reference
+  in
+  let r2 = Report.Sweep.run_journaled ~journal entries in
+  let recovered =
+    r2.Report.Sweep.failures = []
+    && List.map cell_sig r2.Report.Sweep.cells = List.map cell_sig reference
+  in
+  (timeouts, fired, recovered)
+
+(* Cache-write: an injected fault between the cache's tmp write and its
+   rename must abort the save without touching the previous file, and a
+   flipped byte in a saved entry must quarantine exactly that entry. *)
+let run_cache_campaign ~tmp =
+  let open X86.Asm in
+  let module I = X86.Insn in
+  let module R = X86.Reg in
+  let items =
+    [
+      Label "main";
+      Ins (I.Mov_ri (R.RBX, 5L));
+      Label "loop";
+      Ins (I.Alu (I.Sub, R.RBX, I.I 1L));
+      Ins (I.Cmp (R.RBX, I.I 0L));
+      Jcc_lbl (I.Ne, "loop");
+      Ins (I.Mov_ri (R.R13, 77L));
+      Ins I.Hlt;
+    ]
+  in
+  let image = Image.Gelf.build ~entry:"main" items in
+  let path = Filename.concat tmp "chaos.tc" in
+  let faulty =
+    {
+      Core.Config.risotto with
+      Core.Config.inject = [ Core.Inject.Nth (Core.Inject.Cache_write, 1) ];
+    }
+  in
+  let eng = Core.Engine.create faulty image in
+  ignore (Core.Engine.run eng);
+  let save_blocked =
+    match Core.Engine.save_cache eng path with
+    | _ -> false
+    | exception Core.Fault.Fault f ->
+        f.Core.Fault.kind = Core.Fault.Cache_corrupt
+        && not (Sys.file_exists path)
+  in
+  (* Second save: the nth:1 rule is spent, the write lands. *)
+  let saved = Core.Engine.save_cache eng path in
+  let verify_ok =
+    match Core.Engine.verify_cache path with
+    | Ok (n, []) -> n = saved
+    | _ -> false
+  in
+  (* Flip one byte inside the last entry's body. *)
+  let s =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let b = Bytes.of_string s in
+  let at = Bytes.length b - 1 in
+  Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0x01));
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc b);
+  let eng2 = Core.Engine.create Core.Config.risotto image in
+  let quarantine_ok =
+    match Core.Engine.load_cache eng2 path with
+    | Ok n ->
+        n = saved - 1
+        && (Core.Engine.stats eng2).Core.Engine.cache_quarantined = 1
+    | Error _ -> false
+  in
+  let g = Core.Engine.run eng2 in
+  let rerun_ok = Core.Engine.reg g R.R13 = 77L in
+  (save_blocked, verify_ok, quarantine_ok, rerun_ok)
+
+let chaos_bench ~plans ~seed ~out () =
+  section
+    (Printf.sprintf
+       "Chaos campaign (%d seeded plan(s), seed %d) over the resilience \
+        sites"
+       plans seed);
+  let tmp = Filename.temp_file "risotto_chaos" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o700;
+  let entries = chaos_entries () in
+  let reference = Report.Sweep.run entries in
+  Format.printf "  reference: %d cells over %d scheme(s)@."
+    (List.length reference) (List.length entries);
+  let campaigns =
+    List.init plans (fun i ->
+        let plan = chaos_plan ~seed i in
+        let c = run_campaign ~entries ~reference ~tmp i plan in
+        Format.printf
+          "  plan %-28s crashed:%b typed-failures:%d resumes:%d \
+           converged:%b@."
+          c.plan c.crashed c.first_failures c.resumes c.converged;
+        c)
+  in
+  let timeouts, watchdog_fired, watchdog_recovered =
+    run_watchdog ~entries ~reference ~tmp
+  in
+  Format.printf
+    "  watchdog: %d timeout(s), typed and covering: %b, recovered on \
+     resume: %b@."
+    timeouts watchdog_fired watchdog_recovered;
+  let save_blocked, verify_ok, quarantine_ok, rerun_ok =
+    run_cache_campaign ~tmp
+  in
+  Format.printf
+    "  cache: save blocked pre-rename: %b, verify: %b, quarantine: %b, \
+     rerun correct: %b@."
+    save_blocked verify_ok quarantine_ok rerun_ok;
+  (* Best-effort scratch cleanup; artifacts are tiny either way. *)
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat tmp f))
+       (Sys.readdir tmp);
+     Unix.rmdir tmp
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  %s
+  "bench": "seeded chaos campaign over resilience sites",
+  "plans": %d,
+  "seed": %d,
+  "cells": %d,
+  "campaigns": [%s],
+  "watchdog": { "timeouts": %d, "fired": %b, "recovered": %b },
+  "cache": { "save_blocked": %b, "verify_ok": %b, "quarantine_ok": %b, "rerun_ok": %b }
+}
+|}
+    (envelope "chaos") plans seed
+    (List.length reference)
+    (String.concat ", "
+       (List.map
+          (fun c ->
+            Printf.sprintf
+              {|{ "plan": %S, "crashed": %b, "typed_failures": %d, "resumes": %d, "converged": %b }|}
+              c.plan c.crashed c.first_failures c.resumes c.converged)
+          campaigns))
+    timeouts watchdog_fired watchdog_recovered save_blocked verify_ok
+    quarantine_ok rerun_ok;
+  close_out oc;
+  Format.printf "  wrote %s@." out;
+  let failed =
+    List.exists (fun c -> not c.converged) campaigns
+    || (not watchdog_fired) || (not watchdog_recovered) || (not save_blocked)
+    || (not verify_ok) || (not quarantine_ok) || not rerun_ok
+  in
+  if failed then begin
+    Format.eprintf "chaos bench: a robustness invariant failed!@.";
+    exit 2
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Section dispatch                                                    *)
 
 type opts = {
@@ -687,6 +967,9 @@ type opts = {
   dispatch_out : string;
   obs_out : string;
   trace_out : string;
+  chaos_out : string;
+  plans : int;
+  seed : int;
 }
 
 let canonical = function
@@ -699,18 +982,20 @@ let canonical = function
   | "refinement" | "bench-json" -> Some "refinement"
   | "dispatch" -> Some "dispatch"
   | "obs" | "observability" -> Some "obs"
+  | "chaos" | "resilience" -> Some "chaos"
   | _ -> None
 
 let all_sections =
   [ "tables"; "sec3"; "minimality"; "figures"; "ablations"; "bechamel";
-    "refinement"; "dispatch"; "obs" ]
+    "refinement"; "dispatch"; "obs"; "chaos" ]
 
 let usage () =
   Format.eprintf
     "usage: main.exe [SECTION...] [-j N] [--reps N] [-o FILE] \
      [--dispatch-out FILE] [--obs-out FILE] [--trace-out FILE] \
+     [--chaos-out FILE] [--plans N] [--seed N] \
      [--no-bechamel]@.sections: fig2 fig3 fig7 sec3 fig8 fig9 fig12..fig15 \
-     ablations bechamel refinement dispatch obs@.";
+     ablations bechamel refinement dispatch obs chaos@.";
   exit 1
 
 let parse_args () =
@@ -722,6 +1007,9 @@ let parse_args () =
   let dispatch_out = ref "BENCH_dispatch.json" in
   let obs_out = ref "BENCH_obs.json" in
   let trace_out = ref "obs_trace.json" in
+  let chaos_out = ref "BENCH_chaos.json" in
+  let plans = ref 3 in
+  let seed = ref 42 in
   let rec go = function
     | [] -> ()
     | "--no-bechamel" :: rest ->
@@ -749,6 +1037,19 @@ let parse_args () =
     | "--trace-out" :: path :: rest ->
         trace_out := path;
         go rest
+    | "--chaos-out" :: path :: rest ->
+        chaos_out := path;
+        go rest
+    | "--plans" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n > 0 -> plans := n
+        | _ -> usage ());
+        go rest
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 0 -> seed := n
+        | _ -> usage ());
+        go rest
     | s :: rest -> (
         match canonical s with
         | Some c ->
@@ -773,10 +1074,24 @@ let parse_args () =
     dispatch_out = !dispatch_out;
     obs_out = !obs_out;
     trace_out = !trace_out;
+    chaos_out = !chaos_out;
+    plans = !plans;
+    seed = !seed;
   }
 
 let () =
-  let { sections; jobs; reps; out; dispatch_out; obs_out; trace_out } =
+  let {
+    sections;
+    jobs;
+    reps;
+    out;
+    dispatch_out;
+    obs_out;
+    trace_out;
+    chaos_out;
+    plans;
+    seed;
+  } =
     parse_args ()
   in
   let pool = if jobs > 1 then Some (Parallel.Pool.create ~jobs ()) else None in
@@ -792,6 +1107,7 @@ let () =
       | "refinement" -> refinement_bench ~jobs ~reps ~out ()
       | "dispatch" -> dispatch_bench ~reps ~out:dispatch_out ()
       | "obs" -> obs_bench ~reps ~out:obs_out ~trace_out ()
+      | "chaos" -> chaos_bench ~plans ~seed ~out:chaos_out ()
       | _ -> assert false)
     sections;
   (match pool with Some p -> Parallel.Pool.shutdown p | None -> ());

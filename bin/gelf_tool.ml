@@ -140,6 +140,48 @@ let run path config_name trace_out debug metrics inject no_chain
           | None -> ());
           Int64.to_int arm.Arm.Machine.exit_code land 0xFF)
 
+(* verify: offline integrity check, dispatching on the file's magic —
+   gelf images ("GELF*") and persistent translation caches ("RSTC*")
+   share the subcommand because both are checksummed artifacts the DBT
+   may load at startup. *)
+let verify path =
+  let magic =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          really_input_string ic (min 4 (in_channel_length ic)))
+    with
+    | s -> s
+    | exception Sys_error msg ->
+        Format.eprintf "%s: %s@." path msg;
+        exit 1
+  in
+  if String.length magic >= 4 && String.sub magic 0 4 = "RSTC" then
+    match Core.Engine.verify_cache path with
+    | Ok (valid, []) ->
+        Format.printf "%s: cache OK (%d entr%s)@." path valid
+          (if valid = 1 then "y" else "ies");
+        0
+    | Ok (valid, bad) ->
+        Format.printf "%s: cache DAMAGED (%d intact, %d corrupt)@." path
+          valid (List.length bad);
+        List.iter (fun msg -> Format.printf "  %s@." msg) bad;
+        1
+    | Error f ->
+        Format.printf "%s: cache REJECTED (%s)@." path
+          (Core.Fault.to_string f);
+        1
+  else
+    match Image.Gelf.verify_file path with
+    | Ok () ->
+        Format.printf "%s: image OK@." path;
+        0
+    | Error msg ->
+        Format.printf "%s: image REJECTED (%s)@." path msg;
+        1
+
 let asm src dst entry =
   let ic = open_in src in
   let text = really_input_string ic (in_channel_length ic) in
@@ -179,6 +221,15 @@ let asm_cmd =
 let demo_cmd = Cmd.v (Cmd.info "demo" ~doc:"Write a demo image") Term.(const demo $ path_arg)
 let dis_cmd = Cmd.v (Cmd.info "dis" ~doc:"Disassemble an image") Term.(const dis $ path_arg)
 
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Checksum-verify a persisted artifact (gelf image or \
+          translation cache) without loading it into an engine.  Exits \
+          0 if intact, 1 with the per-entry damage report otherwise.")
+    Term.(const verify $ path_arg)
+
 let trace_arg =
   Arg.(
     value
@@ -210,7 +261,8 @@ let inject_arg =
         ~doc:
           "Fault-injection plan: comma-separated $(b,always:SITE), \
            $(b,nth:SITE:N) or $(b,seeded:SITE:SEED:PERMILLE) rules with \
-           SITE one of decode, compile, host-call, cache-read — e.g. \
+           SITE one of decode, compile, host-call, cache-read, \
+           cache-write, pool-task, journal-write — e.g. \
            $(b,nth:compile:1,seeded:host-call:42:250).")
 
 let no_chain_arg =
@@ -256,4 +308,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "gelf_tool" ~doc:"Guest image tool")
-          [ asm_cmd; demo_cmd; dis_cmd; run_cmd ]))
+          [ asm_cmd; demo_cmd; dis_cmd; run_cmd; verify_cmd ]))

@@ -75,7 +75,8 @@ let report_one model verbose path outcome =
    plus one JSON artifact per witness.  Exit is nonzero when any
    refinement check in the sweep fails — known-bad schemes in the
    default sweep make that the expected outcome. *)
-let run_report dir scheme_filters metrics =
+let run_report dir scheme_filters metrics ~journal ~task_timeout ~task_retries
+    ~inject =
   let entries = Report.Sweep.default_entries () in
   let entries =
     match scheme_filters with
@@ -97,7 +98,44 @@ let run_report dir scheme_filters metrics =
   end
   else begin
     let coverage = Report.Coverage.create () in
-    let cells = Report.Sweep.run ~capture:true ~coverage entries in
+    (* The plain path is byte-for-byte the pre-journal sweep; the
+       journaled path replays completed cells and supervises the rest.
+       Both produce the same cells for the same corpus, which is what
+       the resume-parity CI check pins down. *)
+    let cells, failures =
+      match journal with
+      | None -> (Report.Sweep.run ~capture:true ~coverage entries, [])
+      | Some journal ->
+          let policy =
+            {
+              Parallel.Supervise.default with
+              deadline_s = task_timeout;
+              retries = task_retries;
+              chaos =
+                Option.map
+                  (fun i -> Core.Inject.fire_hook i Core.Inject.Pool_task)
+                  inject;
+            }
+          in
+          let journal_chaos =
+            Option.map
+              (fun i -> Core.Inject.fire_hook i Core.Inject.Journal_write)
+              inject
+          in
+          let r =
+            Report.Sweep.run_journaled ~capture:true ~coverage ~policy
+              ?journal_chaos ~journal entries
+          in
+          if r.Report.Sweep.recovery.Parallel.Frontier.valid > 0 then
+            Format.printf "journal %s: %d verdict(s) replayed, %d computed%s@."
+              journal r.Report.Sweep.replayed r.Report.Sweep.computed
+              (if r.Report.Sweep.recovery.Parallel.Frontier.dropped_bytes > 0
+               then
+                 Printf.sprintf " (%d torn byte(s) dropped)"
+                   r.Report.Sweep.recovery.Parallel.Frontier.dropped_bytes
+               else "");
+          (r.Report.Sweep.cells, r.Report.Sweep.failures)
+    in
     let models =
       List.sort_uniq
         (fun (a : Axiom.Model.t) b ->
@@ -123,7 +161,16 @@ let run_report dir scheme_filters metrics =
       (Report.Sweep.failing cells);
     Format.printf "wrote %s and %d witness artifact(s) to %s@." html
       (List.length witnesses) dir;
-    if Report.Sweep.all_ok cells then 0 else 1
+    List.iter
+      (fun (scheme, program, f) ->
+        Format.printf "%-32s %a@."
+          (Printf.sprintf "%s: %s" scheme program)
+          Parallel.Supervise.pp_failure f)
+      failures;
+    (* Supervision failures (exit 3) outrank refinement violations
+       (exit 1): the sweep is incomplete, so its verdict table cannot
+       be trusted yet — resume to converge. *)
+    if failures <> [] then 3 else if Report.Sweep.all_ok cells then 0 else 1
   end
 
 let main files model_name verbose jobs metrics =
@@ -201,16 +248,91 @@ let scheme_arg =
           "With $(b,--report): restrict the sweep to this scheme \
            (repeatable; default all).")
 
-let main files model_name verbose jobs metrics report schemes =
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--report): journal every completed (scheme, program) \
+           verdict to $(docv) as it lands, so a killed sweep can resume \
+           from exactly the completed work.  Implied (at \
+           $(b,DIR/journal)) by $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "With $(b,--report): replay verdicts already journaled by an \
+           earlier (interrupted) run instead of recomputing them, then \
+           compute only the remainder.  The resumed report is \
+           byte-identical to an uninterrupted run's.  Uses \
+           $(b,DIR/journal) unless $(b,--journal) names another file.")
+
+let task_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "task-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "With $(b,--report --journal/--resume): cooperative per-cell \
+           deadline.  A cell that exceeds it is reported as timed out \
+           (typed, terminal — the checks are deterministic) and the \
+           sweep goes on; exit code 3 flags the incomplete table.")
+
+let task_retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "task-retries" ] ~docv:"N"
+        ~doc:
+          "With $(b,--report --journal/--resume): retry a failed cell up \
+           to $(docv) more times (exponential backoff) before \
+           quarantining it as a typed failure.")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"PLAN"
+        ~doc:
+          "With $(b,--report --journal/--resume): deterministic fault \
+           plan for the chaos sites, e.g. \
+           $(b,nth:journal-write:2,seeded:pool-task:7:200).  \
+           $(b,pool-task) rules fail task attempts (retried under the \
+           supervision policy); $(b,journal-write) rules tear the \
+           journal append mid-record, simulating a crash.")
+
+let main files model_name verbose jobs metrics report schemes journal resume
+    task_timeout task_retries inject_plan =
   let jobs =
     match jobs with
     | Some 0 -> Some (Domain.recommended_domain_count ())
     | j -> j
   in
   match report with
-  | Some dir ->
-      if metrics then Obs.Metrics.enable ();
-      run_report dir schemes metrics
+  | Some dir -> (
+      let journal =
+        match (journal, resume) with
+        | Some j, _ -> Some j
+        | None, true -> Some (Filename.concat dir "journal")
+        | None, false -> None
+      in
+      match
+        match inject_plan with
+        | None -> Ok None
+        | Some s ->
+            Result.map
+              (fun p -> Some (Core.Inject.create p))
+              (Core.Inject.plan_of_string s)
+      with
+      | Error msg ->
+          Format.eprintf "%s@." msg;
+          2
+      | Ok inject ->
+          if metrics then Obs.Metrics.enable ();
+          run_report dir schemes metrics ~journal ~task_timeout ~task_retries
+            ~inject)
   | None ->
       if files = [] then begin
         Format.eprintf "no litmus files given (or use --report DIR)@.";
@@ -223,6 +345,7 @@ let cmd =
     (Cmd.info "litmus_run" ~doc:"Check litmus files against their expectations")
     Term.(
       const main $ files_arg $ model_arg $ verbose_arg $ jobs_arg
-      $ metrics_arg $ report_arg $ scheme_arg)
+      $ metrics_arg $ report_arg $ scheme_arg $ journal_arg $ resume_arg
+      $ task_timeout_arg $ task_retries_arg $ inject_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,22 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    The integrity guard shared by every persistent artifact in the
+    repo: gelf image files, the engine's translation-cache entries and
+    the resumable sweep's frontier journal all frame their payloads
+    with this checksum so that bit rot and torn writes surface as typed
+    faults instead of silently corrupted state. *)
+
+val digest : ?crc:int32 -> string -> int32
+(** [digest s] is the CRC-32 of [s].  Pass [~crc] (a previous digest)
+    to continue a running checksum over concatenated chunks:
+    [digest ~crc:(digest a) b = digest (a ^ b)]. *)
+
+val digest_sub : ?crc:int32 -> string -> pos:int -> len:int -> int32
+(** CRC-32 of [len] bytes of [s] starting at [pos].  Raises
+    [Invalid_argument] if the range is out of bounds. *)
+
+val to_hex : int32 -> string
+(** Fixed-width lowercase 8-char hex rendering. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex chars. *)

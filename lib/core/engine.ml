@@ -32,6 +32,9 @@ type stats = {
       (** blocks the backend could not compile, demoted to the TCG
           interpreter *)
   mutable traps : int;  (** guest threads finished by a fault *)
+  mutable cache_quarantined : int;
+      (** persistent-cache entries that failed their checksum and were
+          dropped (the block retranslates on demand) *)
 }
 
 (* How the block at a pc executes: natively, or on the TCG interpreter
@@ -118,6 +121,7 @@ let create ?cost ?idl config image =
         superblocks = 0;
         interp_fallbacks = 0;
         traps = 0;
+        cache_quarantined = 0;
       };
     pending_spawns;
     next_tid;
@@ -556,9 +560,11 @@ let stats_line t g =
   let s = t.stats in
   Printf.sprintf
     "cycles=%d blocks=%d executed=%d chained=%d chain-hits=%d \
-     jcache-hits=%d superblocks=%d interp-fallbacks=%d traps=%d"
+     jcache-hits=%d superblocks=%d interp-fallbacks=%d traps=%d \
+     cache-quarantined=%d"
     g.arm.Arm.Machine.cycles s.blocks_translated s.blocks_executed s.chained
     s.chain_hits s.jmp_cache_hits s.superblocks s.interp_fallbacks s.traps
+    s.cache_quarantined
 
 (* Publish the hot-path dispatch counters (kept as plain mutable fields
    so dispatch pays nothing for them) into the metrics registry as
@@ -579,16 +585,32 @@ let publish_metrics t =
     set "engine.stats.jmp_cache_hits" s.jmp_cache_hits;
     set "engine.stats.superblocks" s.superblocks;
     set "engine.stats.interp_fallbacks" s.interp_fallbacks;
-    set "engine.stats.traps" s.traps
+    set "engine.stats.traps" s.traps;
+    set "engine.stats.cache_quarantined" s.cache_quarantined
   end
 
 (* ------------------------------------------------------------------ *)
 (* Persistent translation cache: translated host code keyed by guest
    pc, reusable across runs (cf. the translation-caching systems in the
    paper's related work, e.g. WOW64).  The cache is only valid for the
-   configuration that produced it. *)
+   configuration that produced it.
 
-let cache_magic = "RSTC1\n"
+   Format v2 ("RSTC2\n") frames every entry as
+
+     pc:16hex  len:%08d  crc:8hex  body[len]
+
+   where [crc] is the CRC-32 of [body] (the [Arm.Encode.encode_block]
+   bytes).  Length framing means a single flipped bit damages exactly
+   one entry: the loader drops (quarantines) that entry, counts it in
+   [stats.cache_quarantined] and the [cache.corrupt] metric, and the
+   block simply retranslates on first execution.  Structural damage —
+   bad magic, truncation, a config mismatch, an unparsable frame
+   header — still fails the whole file, because nothing after the
+   damage can be trusted to be aligned. *)
+
+let cache_magic = "RSTC2\n"
+
+let cache_corrupt_metric = "cache.corrupt"
 
 let save_cache t path =
   let b = Buffer.create 4096 in
@@ -605,10 +627,16 @@ let save_cache t path =
     |> List.sort compare
   in
   Buffer.add_string b (Printf.sprintf "%08d" (List.length entries));
+  let body = Buffer.create 256 in
   List.iter
     (fun (pc, code) ->
+      Buffer.clear body;
+      Arm.Encode.encode_block body code;
+      let s = Buffer.contents body in
       Buffer.add_string b (Printf.sprintf "%016Lx" pc);
-      Arm.Encode.encode_block b code)
+      Buffer.add_string b (Printf.sprintf "%08d" (String.length s));
+      Buffer.add_string b (Checksum.Crc32.to_hex (Checksum.Crc32.digest s));
+      Buffer.add_string b s)
     entries;
   (* Write-to-temp then rename: a crash mid-write must not leave a
      truncated cache under the real name. *)
@@ -617,62 +645,109 @@ let save_cache t path =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (Buffer.contents b));
+  (* The injected crash window: tmp is fully written, the rename has
+     not happened.  A real crash here leaves the previous cache (if
+     any) intact under [path] — which is exactly what the chaos
+     campaign asserts. *)
+  if Inject.fire t.inject Inject.Cache_write then
+    Fault.raise_ Fault.Cache_corrupt
+      (Printf.sprintf "injected cache-write fault before rename of %s" path);
   Sys.rename tmp path;
   List.length entries
 
-let load_cache t path =
+(* Shared v2 parser.  [config] (when given) must match the recorded
+   config name.  [on_entry] receives every structurally complete entry
+   as [pc, Ok code] or [pc, Error reason] (checksum mismatch / decode
+   failure inside an intact frame).  Raises [Fault Cache_corrupt] on
+   structural damage. *)
+let parse_cache ?config ~on_entry s =
   let corrupt fmt =
     Printf.ksprintf (fun m -> Fault.raise_ Fault.Cache_corrupt m) fmt
   in
-  let parse s =
-    let pos = ref 0 in
-    let take n =
-      if !pos + n > String.length s then corrupt "truncated";
-      let r = String.sub s !pos n in
-      pos := !pos + n;
-      r
+  let pos = ref 0 in
+  let take n =
+    if !pos + n > String.length s then corrupt "truncated";
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  if take (String.length cache_magic) <> cache_magic then corrupt "bad magic";
+  let name_len = Char.code (take 1).[0] in
+  let name = take name_len in
+  (match config with
+  | Some c when name <> c ->
+      corrupt "cache was built for config %S, engine runs %S" name c
+  | Some _ | None -> ());
+  let count =
+    match int_of_string_opt (take 8) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> corrupt "bad entry count"
+  in
+  for i = 1 to count do
+    let pc =
+      match Int64.of_string_opt ("0x" ^ take 16) with
+      | Some pc -> pc
+      | None -> corrupt "bad pc in entry %d" i
     in
-    if take (String.length cache_magic) <> cache_magic then corrupt "bad magic";
-    let name_len = Char.code (take 1).[0] in
-    let name = take name_len in
-    if name <> t.config.Config.name then
-      corrupt "cache was built for config %S, engine runs %S" name
-        t.config.Config.name;
-    let count =
+    let len =
       match int_of_string_opt (take 8) with
       | Some n when n >= 0 -> n
-      | Some _ | None -> corrupt "bad entry count"
+      | Some _ | None -> corrupt "bad length in entry %d" i
     in
+    let crc =
+      match Checksum.Crc32.of_hex (take 8) with
+      | Some c -> c
+      | None -> corrupt "bad checksum field in entry %d" i
+    in
+    let body = take len in
+    if Checksum.Crc32.digest body <> crc then
+      on_entry i pc (Error "checksum mismatch")
+    else
+      match Arm.Decode.decode_block body 0 with
+      | code, pos' when pos' = len -> on_entry i pc (Ok code)
+      | _, pos' ->
+          on_entry i pc
+            (Error
+               (Printf.sprintf "decoded %d of %d bytes (checksum collision?)"
+                  pos' len))
+      | exception Arm.Decode.Bad_encoding (at, msg) ->
+          on_entry i pc (Error (Printf.sprintf "offset %d: %s" at msg))
+  done;
+  if !pos <> String.length s then
+    corrupt "%d trailing bytes after last entry" (String.length s - !pos);
+  count
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_cache t path =
+  match
+    let s = read_file path in
     (* Stage into a private table: a fault mid-parse must not leave a
        half-loaded code cache behind. *)
-    let staged = Hashtbl.create (max 16 count) in
-    for i = 1 to count do
-      if Inject.fire t.inject Inject.Cache_read then
-        corrupt "injected cache-read fault at entry %d" i;
-      let pc =
-        match Int64.of_string_opt ("0x" ^ take 16) with
-        | Some pc -> pc
-        | None -> corrupt "bad pc in entry %d" i
-      in
-      match Arm.Decode.decode_block s !pos with
-      | code, pos' ->
-          pos := pos';
-          Hashtbl.replace staged pc code
-      | exception Arm.Decode.Bad_encoding (at, msg) ->
-          corrupt "entry %d (offset %d): %s" i at msg
-    done;
-    staged
-  in
-  match
-    let ic = open_in_bin path in
-    let s =
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
+    let staged = Hashtbl.create 16 in
+    let quarantined = ref 0 in
+    let on_entry i pc = function
+      | Ok code ->
+          if Inject.fire t.inject Inject.Cache_read then
+            Fault.raise_ Fault.Cache_corrupt
+              (Printf.sprintf "injected cache-read fault at entry %d" i)
+          else Hashtbl.replace staged pc code
+      | Error reason ->
+          incr quarantined;
+          Log.warn (fun m ->
+              m "cache %s entry %d (pc 0x%Lx) quarantined: %s" path i pc
+                reason)
     in
-    parse s
+    let _count =
+      parse_cache ~config:t.config.Config.name ~on_entry s
+    in
+    (staged, !quarantined)
   with
-  | staged ->
+  | staged, quarantined ->
       (* Loaded translations replace whatever the engine had patched
          jumps into: unchain everything (and bump the generation so
          per-thread jump caches and pending chained targets die) before
@@ -681,9 +756,15 @@ let load_cache t path =
       Hashtbl.iter
         (fun pc code -> ignore (Tbchain.insert t.tbs pc (Native code)))
         staged;
+      t.stats.cache_quarantined <- t.stats.cache_quarantined + quarantined;
+      if quarantined > 0 && Obs.Metrics.enabled () then
+        Obs.Metrics.add (Obs.Metrics.counter cache_corrupt_metric) quarantined;
       Obs.Trace.instant ~cat:"engine"
         ~args:(fun () ->
-          [ ("blocks", string_of_int (Hashtbl.length staged)) ])
+          [
+            ("blocks", string_of_int (Hashtbl.length staged));
+            ("quarantined", string_of_int quarantined);
+          ])
         "load_cache";
       Ok (Hashtbl.length staged)
   | exception Fault.Fault f ->
@@ -696,3 +777,22 @@ let load_cache t path =
       Log.warn (fun m ->
           m "persistent cache %s unreadable (%s); starting cold" path msg);
       Error f
+
+(* Offline integrity check, used by [gelf_tool verify].  Does not need
+   an engine: config binding is reported, not enforced. *)
+let verify_cache path =
+  match
+    let s = read_file path in
+    let ok = ref 0 in
+    let bad = ref [] in
+    let on_entry i pc = function
+      | Ok _ -> incr ok
+      | Error reason ->
+          bad := Printf.sprintf "entry %d (pc 0x%Lx): %s" i pc reason :: !bad
+    in
+    let _count = parse_cache ~on_entry s in
+    (!ok, List.rev !bad)
+  with
+  | ok, bad -> Ok (ok, bad)
+  | exception Fault.Fault f -> Error f
+  | exception Sys_error msg -> Error (Fault.make Fault.Cache_corrupt msg)

@@ -48,6 +48,10 @@ type stats = {
       (** blocks the backend could not compile, demoted to the TCG
           interpreter *)
   mutable traps : int;  (** guest threads finished by a fault *)
+  mutable cache_quarantined : int;
+      (** persistent-cache entries dropped by {!load_cache} because
+          their checksum (or framing-internal decode) failed; each one
+          just retranslates on first execution *)
 }
 
 (** Engine log source ([risotto.engine]): [info] logs translations,
@@ -199,17 +203,34 @@ val publish_metrics : t -> unit
     engine with the same configuration, skipping retranslation (cf. the
     caching translators in the paper's related work). *)
 
-(** Returns the number of blocks written.  The write is atomic: the
-    cache is assembled in a temporary file renamed into place, so a
-    crash mid-save cannot leave a truncated cache under [path]. *)
+(** Returns the number of blocks written.  Each entry is framed with
+    its length and a CRC-32 of its body (format "RSTC2"), so later
+    loads can drop individually damaged entries instead of rejecting
+    the file.  The write is atomic: the cache is assembled in a
+    temporary file renamed into place, so a crash mid-save cannot
+    leave a truncated cache under [path].  The {!Inject.Cache_write}
+    site fires after the temporary file is complete but before the
+    rename — an injected fault there raises [Fault Cache_corrupt] and
+    leaves any previous cache under [path] intact. *)
 val save_cache : t -> string -> int
 
 (** Returns the number of blocks loaded, or the {!Fault.t}
-    ([Cache_corrupt]) explaining why the file was rejected — corrupt,
-    truncated, unreadable, or built by a different configuration.  On
-    [Error] the engine's code cache is untouched (cold start); nothing
-    is ever partially loaded.  On [Ok] every patched chain edge and
-    superblock is invalidated first (the loaded translations replace
-    what the edges were built against), which also bumps
-    {!chain_generation}. *)
+    ([Cache_corrupt]) explaining why the file was rejected —
+    structurally corrupt, truncated, unreadable, or built by a
+    different configuration.  An entry whose frame is intact but whose
+    body fails its checksum is {e quarantined}: skipped (it will
+    retranslate on demand), counted in {!stats.cache_quarantined} and
+    the [cache.corrupt] metric counter, and the rest of the file still
+    loads.  On [Error] the engine's code cache is untouched (cold
+    start); nothing is ever partially loaded.  On [Ok] every patched
+    chain edge and superblock is invalidated first (the loaded
+    translations replace what the edges were built against), which
+    also bumps {!chain_generation}. *)
 val load_cache : t -> string -> (int, Fault.t) result
+
+(** Offline integrity check for a cache file ([gelf_tool verify]).
+    [Ok (valid, bad)] lists the per-entry problems ([bad] empty means
+    the file is fully intact); [Error] is structural damage that would
+    make {!load_cache} reject the whole file.  Does not require an
+    engine and does not enforce the config binding. *)
+val verify_cache : string -> (int * string list, Fault.t) result

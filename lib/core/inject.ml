@@ -1,4 +1,11 @@
-type site = Decode | Compile | Host_call | Cache_read
+type site =
+  | Decode
+  | Compile
+  | Host_call
+  | Cache_read
+  | Cache_write
+  | Pool_task
+  | Journal_write
 
 type rule =
   | Nth of site * int
@@ -13,17 +20,28 @@ type t = {
   states : int64 array;  (* LCG state, one slot per plan rule *)
 }
 
+let site_count = 7
+
 let site_index = function
   | Decode -> 0
   | Compile -> 1
   | Host_call -> 2
   | Cache_read -> 3
+  | Cache_write -> 4
+  | Pool_task -> 5
+  | Journal_write -> 6
 
 let site_name = function
   | Decode -> "decode"
   | Compile -> "compile"
   | Host_call -> "host-call"
   | Cache_read -> "cache-read"
+  | Cache_write -> "cache-write"
+  | Pool_task -> "pool-task"
+  | Journal_write -> "journal-write"
+
+let all_sites =
+  [ Decode; Compile; Host_call; Cache_read; Cache_write; Pool_task; Journal_write ]
 
 let rule_site = function
   | Nth (s, _) | Always s -> s
@@ -32,7 +50,7 @@ let rule_site = function
 let create plan =
   {
     plan;
-    counts = Array.make 4 0;
+    counts = Array.make site_count 0;
     states =
       Array.of_list
         (List.map
@@ -69,26 +87,40 @@ let fire t site =
   List.fold_left (fun acc (i, r) -> hit i r || acc) false
     (List.mapi (fun i r -> (i, r)) t.plan)
 
+let fire_hook t site () = fire t site
 let count t site = t.counts.(site_index site)
 
-let site_of_string = function
-  | "decode" -> Some Decode
-  | "compile" -> Some Compile
-  | "host-call" | "host_call" -> Some Host_call
-  | "cache-read" | "cache_read" -> Some Cache_read
-  | _ -> None
+let site_of_string s =
+  (* Accept both separators everywhere, so the underscore spellings
+     users type stay symmetric with the hyphenated names [pp_rule]
+     emits. *)
+  let s = String.map (function '_' -> '-' | c -> c) s in
+  List.find_opt (fun site -> site_name site = s) all_sites
+
+let known_sites () = String.concat ", " (List.map site_name all_sites)
 
 let rule_of_string s =
   match String.split_on_char ':' s with
   | [ "always"; site ] -> (
       match site_of_string site with
       | Some site -> Ok (Always site)
-      | None -> Error (Printf.sprintf "inject: unknown site %S" site))
+      | None ->
+          Error
+            (Printf.sprintf "inject: unknown site %S (one of: %s)" site
+               (known_sites ())))
   | [ "nth"; site; k ] -> (
       match (site_of_string site, int_of_string_opt k) with
       | Some site, Some k when k >= 1 -> Ok (Nth (site, k))
-      | None, _ -> Error (Printf.sprintf "inject: unknown site %S" site)
-      | _, _ -> Error (Printf.sprintf "inject: bad occurrence count %S" k))
+      | None, _ ->
+          Error
+            (Printf.sprintf "inject: unknown site %S (one of: %s)" site
+               (known_sites ()))
+      | Some _, Some k ->
+          Error
+            (Printf.sprintf
+               "inject: occurrence count must be >= 1, got %d in %S" k s)
+      | Some _, None ->
+          Error (Printf.sprintf "inject: bad occurrence count %S" k))
   | [ "seeded"; site; seed; permille ] -> (
       match
         (site_of_string site, Int64.of_string_opt seed, int_of_string_opt permille)
@@ -96,8 +128,18 @@ let rule_of_string s =
       | Some site, Some seed, Some permille when permille >= 0 && permille <= 1000
         ->
           Ok (Seeded { site; seed; permille })
-      | None, _, _ -> Error (Printf.sprintf "inject: unknown site %S" site)
-      | _, _, _ -> Error (Printf.sprintf "inject: bad seeded rule %S" s))
+      | None, _, _ ->
+          Error
+            (Printf.sprintf "inject: unknown site %S (one of: %s)" site
+               (known_sites ()))
+      | Some _, Some _, Some permille ->
+          Error
+            (Printf.sprintf
+               "inject: permille %d out of range [0, 1000] in %S" permille s)
+      | Some _, None, _ ->
+          Error (Printf.sprintf "inject: bad seed %S" seed)
+      | Some _, Some _, None ->
+          Error (Printf.sprintf "inject: bad permille %S" permille))
   | _ -> Error (Printf.sprintf "inject: cannot parse rule %S" s)
 
 let plan_of_string s =
@@ -118,4 +160,10 @@ let pp_rule ppf = function
   | Seeded { site; seed; permille } ->
       Fmt.pf ppf "seeded:%s:%Ld:%d" (site_name site) seed permille
 
-let pp_plan = Fmt.list ~sep:Fmt.comma pp_rule
+(* [Fmt.comma] breaks with [@ ], which a narrow formatter margin turns
+   into a newline the parser would then have to scrub back out of rule
+   texts; a plain ", " keeps [plan_of_string (Fmt.str "%a" pp_plan p)]
+   an identity for every well-formed plan at any margin. *)
+let pp_plan = Fmt.list ~sep:(Fmt.any ", ") pp_rule
+
+let plan_to_string p = Fmt.str "%a" pp_plan p

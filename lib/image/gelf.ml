@@ -42,7 +42,11 @@ let plt_at t addr =
 
 exception Bad_image of string
 
-let magic = "GELF1\n"
+(* v2 prepends a CRC-32 of the whole body right after the magic, so
+   any bit flip anywhere in the file is caught before the field-level
+   parser can misread it.  v1 files (no checksum) still load. *)
+let magic = "GELF2\n"
+let magic_v1 = "GELF1\n"
 
 let put_i64 b (v : int64) =
   for i = 0 to 7 do
@@ -58,23 +62,27 @@ let put_list b f l =
   put_i64 b (Int64.of_int (List.length l));
   List.iter (f b) l
 
-let save t path =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b magic;
-  put_i64 b t.entry;
-  put_i64 b t.text_base;
-  put_str b t.text;
-  put_list b
+let save ?on_commit t path =
+  let body = Buffer.create 1024 in
+  put_i64 body t.entry;
+  put_i64 body t.text_base;
+  put_str body t.text;
+  put_list body
     (fun b (name, addr) ->
       put_str b name;
       put_i64 b addr)
     t.symbols;
-  put_list b (fun b name -> put_str b name) t.imports;
-  put_list b
+  put_list body (fun b name -> put_str b name) t.imports;
+  put_list body
     (fun b (name, addr) ->
       put_str b name;
       put_i64 b addr)
     t.plt;
+  let body = Buffer.contents body in
+  let b = Buffer.create (String.length body + 16) in
+  Buffer.add_string b magic;
+  Buffer.add_string b (Checksum.Crc32.to_hex (Checksum.Crc32.digest body));
+  Buffer.add_string b body;
   (* Temp-and-rename so a crash mid-write cannot leave a truncated
      image under the real name. *)
   let tmp = path ^ ".tmp" in
@@ -82,15 +90,41 @@ let save t path =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (Buffer.contents b));
+  (* Crash window for chaos campaigns: temp file complete, rename not
+     yet done.  A fault raised by [on_commit] must leave any previous
+     image under [path] intact. *)
+  (match on_commit with Some f -> f () | None -> ());
   Sys.rename tmp path
 
-let load path =
-  let ic = open_in_bin path in
-  let s =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+(* Splits off the version header.  For v2, checks the whole-body CRC
+   here — the field parser below then runs on bytes already known
+   intact.  Returns the body (everything after the header). *)
+let check_header s =
+  let starts_with prefix =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
   in
+  if starts_with magic then begin
+    let hdr = String.length magic + 8 in
+    if String.length s < hdr then raise (Bad_image "truncated header");
+    let crc =
+      match Checksum.Crc32.of_hex (String.sub s (String.length magic) 8) with
+      | Some c -> c
+      | None -> raise (Bad_image "bad checksum field")
+    in
+    let body = String.sub s hdr (String.length s - hdr) in
+    if Checksum.Crc32.digest body <> crc then
+      raise (Bad_image "checksum mismatch");
+    body
+  end
+  else if starts_with magic_v1 then
+    (* Legacy image: no checksum to verify. *)
+    String.sub s (String.length magic_v1)
+      (String.length s - String.length magic_v1)
+  else raise (Bad_image "bad magic")
+
+let parse s =
+  let s = check_header s in
   let pos = ref 0 in
   let take n =
     if !pos + n > String.length s then raise (Bad_image "truncated");
@@ -119,7 +153,6 @@ let load path =
     let rec go i acc = if i = n then List.rev acc else go (i + 1) (f () :: acc) in
     go 0 []
   in
-  if take (String.length magic) <> magic then raise (Bad_image "bad magic");
   let entry = i64 () in
   let text_base = i64 () in
   let text = str () in
@@ -134,4 +167,20 @@ let load path =
         let name = str () in
         (name, i64 ()))
   in
+  if !pos <> String.length s then
+    raise (Bad_image "trailing bytes after image");
   { entry; text_base; text; symbols; imports; plt }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = parse (read_file path)
+
+let verify_file path =
+  match parse (read_file path) with
+  | (_ : t) -> Ok ()
+  | exception Bad_image msg -> Error msg
+  | exception Sys_error msg -> Error msg

@@ -41,7 +41,20 @@ val plt_at : t -> int64 -> string option
 
 exception Bad_image of string
 
-val save : t -> string -> unit
+(** Writes format "GELF2": magic, CRC-32 of the body (8 hex digits),
+    then the fields.  The write is atomic (temp file renamed into
+    place).  [on_commit], if given, runs after the temporary file is
+    complete but before the rename — chaos campaigns raise from it to
+    simulate a crash in that window, leaving any previous image under
+    the path intact. *)
+val save : ?on_commit:(unit -> unit) -> t -> string -> unit
 
-(** Raises {!Bad_image} on corrupt or incompatible files. *)
+(** Raises {!Bad_image} on corrupt or incompatible files.  "GELF2"
+    files are checksum-verified before parsing; legacy "GELF1" files
+    (no checksum) still load. *)
 val load : string -> t
+
+(** Offline integrity check ([gelf_tool verify]): parses and
+    checksum-verifies the file without constructing anything.
+    [Error msg] carries the {!Bad_image} (or I/O) reason. *)
+val verify_file : string -> (unit, string) result

@@ -306,6 +306,7 @@ let init_first_constraints ws =
 let candidates (p : Ast.prog) =
   List.concat_map
     (fun c ->
+      Parallel.Supervise.poll ();
       let events = c.c_events in
       (* rf choices per read *)
       let reads = List.filter E.is_read events in
@@ -434,17 +435,23 @@ let per_loc_survivors c loc =
     Some survivors
 
 (* Fold [f] over the model-consistent executions of [p], enumerating
-   with per-location pruning. *)
+   with per-location pruning.  [Supervise.poll] marks the cooperative
+   cancellation points: Domains cannot be preempted, so a supervised
+   sweep's per-task deadline fires here, between candidates, rather
+   than never — an unsupervised run pays one domain-local read per
+   candidate. *)
 let fold_consistent (m : Axiom.Model.t) p f acc =
   let locs = Ast.locations p in
   List.fold_left
     (fun acc c ->
+      Parallel.Supervise.poll ();
       let per_loc = List.map (per_loc_survivors c) locs in
       if List.exists (fun s -> s = None || s = Some []) per_loc then acc
       else
         let parts = List.map Option.get per_loc in
         List.fold_left
           (fun acc choice ->
+            Parallel.Supervise.poll ();
             let rf = Rel.union_all (List.map fst choice) in
             let co = Rel.union_all (List.map snd choice) in
             let x = execution_of_combo c ~rf ~co in
@@ -472,6 +479,7 @@ let behaviours_probed ~on_reject (m : Axiom.Model.t) p =
   let bs =
     List.filter_map
       (fun (x, regs) ->
+        Parallel.Supervise.poll ();
         if m.Axiom.Model.consistent x then Some { mem = X.behaviour x; regs }
         else begin
           on_reject x;

@@ -9,7 +9,12 @@ type report = {
 }
 
 let refines ~src_model ~tgt_model ~src ~tgt =
+  (* Cancellation points between the two enumerations: a supervised
+     sweep's deadline also fires when the source side finished in time
+     but the target side would not have. *)
+  Parallel.Supervise.poll ();
   let bs = En.behaviours src_model src in
+  Parallel.Supervise.poll ();
   let bt = En.behaviours tgt_model tgt in
   let extra =
     List.filter

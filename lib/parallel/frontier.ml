@@ -1,0 +1,181 @@
+(* Journal layout:
+
+     RJNL1\n
+     R <len:8 hex> <crc:8 hex>\n<payload bytes>\n
+     R ...
+
+   where <len> counts the payload bytes (not the trailing newline) and
+   <crc> is the CRC-32 of the payload.  The payload itself is
+   "<klen:8 hex> <key><value>".  All framing is fixed-width ASCII so a
+   recovery scan needs no lookahead: a header is exactly 20 bytes, and
+   a record occupies 20 + len + 1 bytes. *)
+
+let magic = "RJNL1\n"
+let header_len = 20 (* "R xxxxxxxx yyyyyyyy\n" *)
+
+type t = {
+  path : string;
+  mutable oc : out_channel;
+  chaos : (unit -> bool) option;
+}
+
+type recovery = {
+  entries : (string * string) list;
+  valid : int;
+  dropped_bytes : int;
+}
+
+exception Injected_fault of string
+
+let m_recovered = lazy (Obs.Metrics.counter "journal.recovered")
+let m_truncated = lazy (Obs.Metrics.counter "journal.truncated.bytes")
+let m_appends = lazy (Obs.Metrics.counter "journal.appends")
+
+let payload_of ~key ~value =
+  Printf.sprintf "%08x %s%s" (String.length key) key value
+
+let split_payload p =
+  (* "<klen:8 hex> <key><value>" *)
+  if String.length p < 9 || p.[8] <> ' ' then None
+  else
+    match int_of_string_opt ("0x" ^ String.sub p 0 8) with
+    | Some klen when klen >= 0 && 9 + klen <= String.length p ->
+        Some (String.sub p 9 klen, String.sub p (9 + klen) (String.length p - 9 - klen))
+    | Some _ | None -> None
+
+let record_of ~key ~value =
+  let payload = payload_of ~key ~value in
+  Printf.sprintf "R %08x %s\n%s\n" (String.length payload)
+    (Checksum.Crc32.to_hex (Checksum.Crc32.digest payload))
+    payload
+
+(* Scan [s] (the whole file) and return the recovery plus the byte
+   offset where the valid prefix ends. *)
+let scan s =
+  let n = String.length s in
+  if n < String.length magic || String.sub s 0 (String.length magic) <> magic
+  then ({ entries = []; valid = 0; dropped_bytes = n }, 0)
+  else begin
+    let pos = ref (String.length magic) in
+    let entries = ref [] in
+    let valid = ref 0 in
+    let ok = ref true in
+    while !ok && !pos < n do
+      let start = !pos in
+      let bad () =
+        ok := false;
+        pos := start
+      in
+      if start + header_len > n then bad ()
+      else if
+        s.[start] <> 'R' || s.[start + 1] <> ' '
+        || s.[start + 10] <> ' '
+        || s.[start + header_len - 1] <> '\n'
+      then bad ()
+      else
+        match
+          ( int_of_string_opt ("0x" ^ String.sub s (start + 2) 8),
+            Checksum.Crc32.of_hex (String.sub s (start + 11) 8) )
+        with
+        | Some len, Some crc when len >= 0 ->
+            let body = start + header_len in
+            if body + len + 1 > n then bad ()
+            else if s.[body + len] <> '\n' then bad ()
+            else if Checksum.Crc32.digest_sub s ~pos:body ~len <> crc then
+              bad ()
+            else begin
+              match split_payload (String.sub s body len) with
+              | Some (key, value) ->
+                  entries := (key, value) :: !entries;
+                  incr valid;
+                  pos := body + len + 1
+              | None -> bad ()
+            end
+        | _ -> bad ()
+    done;
+    ( {
+        entries = List.rev !entries;
+        valid = !valid;
+        dropped_bytes = n - !pos;
+      },
+      !pos )
+  end
+
+let read_file path =
+  if not (Sys.file_exists path) then ""
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
+
+let recover_file path = fst (scan (read_file path))
+
+let open_ ?chaos path =
+  let s = read_file path in
+  let rec_, keep = scan s in
+  Obs.Metrics.add (Lazy.force m_recovered) rec_.valid;
+  Obs.Metrics.add (Lazy.force m_truncated) rec_.dropped_bytes;
+  (* Rewrite the valid prefix (or a fresh header) and reopen in append
+     position: the torn tail is physically gone, so a later recovery
+     cannot trip over it. *)
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_binary ] 0o644 path in
+  (try
+     if s = "" || keep = 0 then begin
+       seek_out oc 0;
+       output_string oc magic
+     end
+     else seek_out oc keep
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  (* seek_out positions the write pointer but does not shrink the file;
+     flush then truncate so stale tail bytes cannot survive. *)
+  flush oc;
+  (try Unix.truncate path (pos_out oc) with Unix.Unix_error _ -> ());
+  ({ path; oc; chaos }, rec_)
+
+let append t ~key ~value =
+  let record = record_of ~key ~value in
+  (match t.chaos with
+  | Some fire when fire () ->
+      (* Tear the record: header plus half the payload, flushed, then
+         fail — what a crash inside the append leaves behind. *)
+      let torn = String.sub record 0 (header_len + ((String.length record - header_len) / 2)) in
+      output_string t.oc torn;
+      flush t.oc;
+      raise (Injected_fault (Printf.sprintf "journal append of %S torn" key))
+  | _ -> ());
+  output_string t.oc record;
+  flush t.oc;
+  Obs.Metrics.incr (Lazy.force m_appends)
+
+let checkpoint t entries =
+  (* Last-wins dedup, first-seen key order. *)
+  let seen = Hashtbl.create (List.length entries) in
+  List.iter (fun (k, v) -> Hashtbl.replace seen k v) entries;
+  let order = ref [] in
+  let emitted = Hashtbl.create (List.length entries) in
+  List.iter
+    (fun (k, _) ->
+      if not (Hashtbl.mem emitted k) then begin
+        Hashtbl.add emitted k ();
+        order := (k, Hashtbl.find seen k) :: !order
+      end)
+    entries;
+  let compact = List.rev !order in
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      List.iter (fun (key, value) -> output_string oc (record_of ~key ~value)) compact);
+  close_out_noerr t.oc;
+  Sys.rename tmp t.path;
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path in
+  t.oc <- oc
+
+let path t = t.path
+let close t = close_out_noerr t.oc

@@ -23,7 +23,7 @@ let counter_for t model axiom =
    in checking order, i.e. [Explain.check]'s verdict.  Executions the
    predicate rejects but no decomposed axiom explains (not the case for
    any lib/axiom model) land in "(undiagnosed)". *)
-let record t ~scheme ~program ~(model : Axiom.Model.t) x =
+let record ?(quiet = false) t ~scheme ~program ~(model : Axiom.Model.t) x =
   let axiom =
     match Axiom.Explain.which_of_model model with
     | None -> "(unknown model)"
@@ -37,7 +37,18 @@ let record t ~scheme ~program ~(model : Axiom.Model.t) x =
   (match Hashtbl.find_opt t.table key with
   | Some r -> incr r
   | None -> Hashtbl.add t.table key (ref 1));
-  Obs.Metrics.incr (counter_for t model axiom)
+  if not quiet then Obs.Metrics.incr (counter_for t model axiom)
+
+(* Merge a pre-computed delta (e.g. replayed from a sweep journal, or
+   a per-attempt scratch table) into both the matrix and the metric
+   counter, as if [record] had fired [n] times. *)
+let add t key n =
+  if n > 0 then begin
+    (match Hashtbl.find_opt t.table key with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add t.table key (ref n));
+    Obs.Metrics.add (counter_for t key.model key.axiom) n
+  end
 
 let counts t =
   List.sort compare

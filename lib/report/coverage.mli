@@ -22,14 +22,24 @@ val create : unit -> t
 val metric_prefix : string
 
 (** Account one rejected candidate execution of [program] under
-    [model]. *)
+    [model].  With [~quiet:true] only the in-process table is bumped,
+    not the metric counter — journaled sweeps record attempts quietly
+    into a scratch table and {!add} the delta exactly once when the
+    task commits, so retries cannot double-count. *)
 val record :
+  ?quiet:bool ->
   t ->
   scheme:string ->
   program:string ->
   model:Axiom.Model.t ->
   Axiom.Execution.t ->
   unit
+
+(** [add t key n] merges a pre-computed delta — replayed from a sweep
+    journal, or accumulated quietly during a task attempt — into both
+    the matrix and the [axiom.reject.*] counter, as if {!record} had
+    fired [n] times.  No-op for [n <= 0]. *)
+val add : t -> key -> int -> unit
 
 (** All cells with nonzero counts, key-sorted. *)
 val counts : t -> (key * int) list

@@ -205,3 +205,230 @@ let witness_json (c : cell) (w : Mapping.Witness.t) =
         | Some p -> Json.Int (Mapping.Witness.instruction_count p)
         | None -> Json.Null );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Journaled (resumable) sweeps.
+
+   Each completed (scheme, program) cell appends one record to a
+   {!Parallel.Frontier} journal: key = scheme ^ "\x1f" ^ program, value
+   = the JSON-encoded verdict plus the cell's coverage deltas.  On
+   resume, journaled cells are replayed — report rebuilt, coverage
+   deltas merged via [Coverage.add] — and only the remainder is
+   computed, each cell under {!Parallel.Supervise} so a wedged or
+   poisoned cell becomes a typed failure instead of hanging the sweep.
+
+   Witnesses and shrunk counterexamples are {e not} journaled: they are
+   a deterministic function of (scheme, program) and are recomputed for
+   failing cells on both the compute and the replay path, which is what
+   makes a resumed report byte-identical to an uninterrupted one. *)
+
+let cell_key scheme program = scheme ^ "\x1f" ^ program
+
+(* -------- verdict record codec -------- *)
+
+exception Bad_record of string
+
+let jfail fmt = Printf.ksprintf (fun m -> raise (Bad_record m)) fmt
+let jint = function Json.Int n -> n | _ -> jfail "expected int"
+let jstr = function Json.String s -> s | _ -> jfail "expected string"
+let jbool = function Json.Bool b -> b | _ -> jfail "expected bool"
+let jlist = function Json.List l -> l | _ -> jfail "expected list"
+
+let jfield name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> jfail "missing field %S" name
+
+let behaviour_of_json j =
+  {
+    En.mem =
+      List.map
+        (fun m -> (jstr (jfield "loc" m), jint (jfield "value" m)))
+        (jlist (jfield "mem" j));
+    En.regs =
+      List.map
+        (fun r ->
+          ( (jint (jfield "tid" r), jstr (jfield "reg" r)),
+            jint (jfield "value" r) ))
+        (jlist (jfield "regs" j));
+  }
+
+let verdict_to_string (r : Mapping.Check.report)
+    (deltas : (Coverage.key * int) list) =
+  Json.to_string
+    (Json.Obj
+       [
+         ("ok", Json.Bool r.Mapping.Check.ok);
+         ("src_behaviours", Json.Int r.Mapping.Check.src_behaviours);
+         ("tgt_behaviours", Json.Int r.Mapping.Check.tgt_behaviours);
+         ( "extra",
+           Json.List (List.map json_of_behaviour r.Mapping.Check.extra) );
+         ( "cov",
+           Json.List
+             (List.map
+                (fun ((k : Coverage.key), n) ->
+                  Json.Obj
+                    [
+                      ("model", Json.String k.Coverage.model);
+                      ("axiom", Json.String k.Coverage.axiom);
+                      ("count", Json.Int n);
+                    ])
+                deltas) );
+       ])
+
+let verdict_of_string ~scheme ~program s =
+  match Json.of_string s with
+  | Error msg -> jfail "unparsable verdict record: %s" msg
+  | Ok j ->
+      let report =
+        {
+          Mapping.Check.name = Printf.sprintf "%s: %s" scheme program;
+          ok = jbool (jfield "ok" j);
+          src_behaviours = jint (jfield "src_behaviours" j);
+          tgt_behaviours = jint (jfield "tgt_behaviours" j);
+          extra = List.map behaviour_of_json (jlist (jfield "extra" j));
+        }
+      in
+      let deltas =
+        List.map
+          (fun d ->
+            ( {
+                Coverage.scheme;
+                program;
+                model = jstr (jfield "model" d);
+                axiom = jstr (jfield "axiom" d);
+              },
+              jint (jfield "count" d) ))
+          (jlist (jfield "cov" j))
+      in
+      (report, deltas)
+
+(* -------- the resumable runner -------- *)
+
+type journaled = {
+  cells : cell list;
+  failures : (string * string * Parallel.Supervise.failure) list;
+  replayed : int;
+  computed : int;
+  recovery : Parallel.Frontier.recovery;
+}
+
+let run_journaled ?(capture = false) ?coverage ?max_witnesses
+    ?(policy = Parallel.Supervise.default) ?journal_chaos ~journal entries =
+  let fr, recovery = Parallel.Frontier.open_ ?chaos:journal_chaos journal in
+  (* Last record wins, as checkpoint compaction would decide. *)
+  let verdicts = Hashtbl.create 64 in
+  List.iter
+    (fun (k, v) -> Hashtbl.replace verdicts k v)
+    recovery.Parallel.Frontier.entries;
+  let replayed = ref 0 and computed = ref 0 in
+  let failures = ref [] in
+  let written = ref [] in
+  (* Witness decoration is recomputed on both paths, never journaled:
+     deterministic, so replay stays byte-identical. *)
+  let decorate e src report =
+    if capture && not report.Mapping.Check.ok then
+      ( Mapping.Witness.capture ?max_witnesses ~src_model:e.src_model
+          ~tgt_model:e.tgt_model ~src ~tgt:(e.f src) report,
+        Some
+          (Mapping.Witness.shrink ~scheme:e.f ~src_model:e.src_model
+             ~tgt_model:e.tgt_model src) )
+    else ([], None)
+  in
+  let compute e program src () =
+    let tgt = e.f src in
+    let report =
+      Mapping.Check.refines ~src_model:e.src_model ~tgt_model:e.tgt_model ~src
+        ~tgt
+    in
+    let report =
+      {
+        report with
+        Mapping.Check.name = Printf.sprintf "%s: %s" e.scheme program;
+      }
+    in
+    let deltas =
+      match coverage with
+      | None -> []
+      | Some _ ->
+          (* Quiet scratch per attempt: a retried attempt re-probes from
+             zero, and only the committing attempt's delta is merged —
+             exactly-once accounting under retry. *)
+          let scratch = Coverage.create () in
+          ignore
+            (En.behaviours_probed
+               ~on_reject:(fun x ->
+                 Coverage.record ~quiet:true scratch ~scheme:e.scheme ~program
+                   ~model:e.src_model x)
+               e.src_model src);
+          Coverage.counts scratch
+    in
+    (report, deltas)
+  in
+  let merge_deltas deltas =
+    match coverage with
+    | None -> ()
+    | Some cov -> List.iter (fun (k, n) -> Coverage.add cov k n) deltas
+  in
+  let cells =
+    List.concat_map
+      (fun (e : entry) ->
+        List.filter_map
+          (fun (program, src) ->
+            let key = cell_key e.scheme program in
+            let replay =
+              match Hashtbl.find_opt verdicts key with
+              | None -> None
+              | Some v -> (
+                  match verdict_of_string ~scheme:e.scheme ~program v with
+                  | report, deltas -> Some (report, deltas, v)
+                  | exception Bad_record _ ->
+                      (* A record the CRC accepted but the codec cannot
+                         read (e.g. written by an older build): drop it
+                         and recompute the cell. *)
+                      None)
+            in
+            match replay with
+            | Some (report, deltas, v) ->
+                incr replayed;
+                merge_deltas deltas;
+                written := (key, v) :: !written;
+                let witnesses, shrunk = decorate e src report in
+                Some { scheme = e.scheme; program; report; witnesses; shrunk }
+            | None -> (
+                match
+                  Parallel.Supervise.run policy (compute e program src)
+                with
+                | Ok (report, deltas) ->
+                    incr computed;
+                    (* Journal before merging: if the append tears (chaos
+                       or crash), the cell is simply recomputed on
+                       resume — verdicts are never lost, never doubled. *)
+                    Parallel.Frontier.append fr ~key
+                      ~value:(verdict_to_string report deltas);
+                    merge_deltas deltas;
+                    written :=
+                      (key, verdict_to_string report deltas) :: !written;
+                    let witnesses, shrunk = decorate e src report in
+                    Some
+                      { scheme = e.scheme; program; report; witnesses; shrunk }
+                | Error failure ->
+                    (* No journal record: a resumed run retries the
+                       cell, so a transient environment converges to the
+                       fault-free verdict table. *)
+                    failures := (e.scheme, program, failure) :: !failures;
+                    None))
+          e.corpus)
+      entries
+  in
+  (* Compact: one record per cell, canonical sweep order — a journal
+     grown across many interrupted runs shrinks back to its minimum. *)
+  Parallel.Frontier.checkpoint fr (List.rev !written);
+  Parallel.Frontier.close fr;
+  {
+    cells;
+    failures = List.rev !failures;
+    replayed = !replayed;
+    computed = !computed;
+    recovery;
+  }

@@ -49,6 +49,49 @@ val run :
 val all_ok : cell list -> bool
 val failing : cell list -> cell list
 
+(** {1 Journaled (resumable) sweeps} *)
+
+(** Journal key of a (scheme, program) cell: the two joined by a unit
+    separator (0x1F), which neither side contains. *)
+val cell_key : string -> string -> string
+
+type journaled = {
+  cells : cell list;  (** canonical (entries × corpus) order *)
+  failures : (string * string * Parallel.Supervise.failure) list;
+      (** (scheme, program, failure) of cells that timed out or were
+          quarantined this run — not journaled, retried on resume *)
+  replayed : int;  (** cells restored from the journal *)
+  computed : int;  (** cells computed (and journaled) this run *)
+  recovery : Parallel.Frontier.recovery;
+      (** what opening the journal recovered (torn-tail statistics) *)
+}
+
+(** [run_journaled ~journal entries] is {!run} with crash-safety: every
+    completed cell appends a CRC-guarded verdict record (verdict +
+    coverage deltas) to the {!Parallel.Frontier} journal at [journal],
+    and cells already journaled by an earlier interrupted run are
+    replayed instead of recomputed — verdict rebuilt, coverage deltas
+    merged via {!Coverage.add}, witnesses re-derived deterministically —
+    so the resumed result (and an HTML report rendered from it) is
+    byte-identical to an uninterrupted run's.  Each computed cell runs
+    under [policy] ({!Parallel.Supervise}): timeouts and quarantined
+    cells surface in [failures], are left out of the journal, and are
+    retried by the next resume.  [journal_chaos] is the
+    [journal-write] chaos site hook ({!Parallel.Frontier.open_}); a
+    firing hook tears the append and raises
+    {!Parallel.Frontier.Injected_fault}, simulating a crash.  The
+    journal is checkpoint-compacted to canonical order on successful
+    completion. *)
+val run_journaled :
+  ?capture:bool ->
+  ?coverage:Coverage.t ->
+  ?max_witnesses:int ->
+  ?policy:Parallel.Supervise.policy ->
+  ?journal_chaos:(unit -> bool) ->
+  journal:string ->
+  entry list ->
+  journaled
+
 val json_of_behaviour : Litmus.Enumerate.behaviour -> Json.t
 val json_of_execution : Axiom.Execution.t -> Json.t
 

@@ -317,28 +317,77 @@ let run_sweep ?pool tasks =
       { r with Mapping.Check.name = Printf.sprintf "%s: %s" sname tname })
     tasks
 
+let sweep_cells tasks =
+  List.map
+    (fun (sname, tname, f, src_model, tgt_model, src) ->
+      {
+        Mapping.Check.cell_scheme = sname;
+        cell_program = tname;
+        cell_f = f;
+        cell_src_model = src_model;
+        cell_tgt_model = tgt_model;
+        cell_src = src;
+      })
+    tasks
+
 (* Wall time of the best of [reps] cold-cache runs. *)
-let time_sweep ?pool ~reps tasks =
+let time_runs ~reps run =
   let best = ref infinity in
   let reports = ref [] in
   for _ = 1 to reps do
     Litmus.Enumerate.clear_caches ();
     let t0 = Unix.gettimeofday () in
-    reports := run_sweep ?pool tasks;
+    reports := run ();
     let dt = Unix.gettimeofday () -. t0 in
     if dt < !best then best := dt
   done;
   (!best, !reports)
 
+(* Enumerations (behaviour-cache misses) of one cold run of [run]. *)
+let count_enumerations run =
+  Litmus.Enumerate.clear_caches ();
+  let _, m0 = Litmus.Enumerate.cache_stats () in
+  ignore (run ());
+  let _, m1 = Litmus.Enumerate.cache_stats () in
+  m1 - m0
+
+let chunk_json stats =
+  String.concat ", "
+    (List.map
+       (fun (c : Parallel.Pool.chunk_stat) ->
+         Printf.sprintf
+           {|{ "domain": %d, "start": %d, "len": %d, "us": %.1f }|}
+           c.Parallel.Pool.c_domain c.Parallel.Pool.c_start
+           c.Parallel.Pool.c_len c.Parallel.Pool.c_us)
+       stats)
+
+(* The sequential arm is the per-task [refines] loop — the exact code
+   path of every earlier recorded baseline — while the parallel arm
+   goes through the batch planner ([check_cells]): cells are grouped by
+   target program and the model-independent survivor set is enumerated
+   once per program for all models that need it, as chunked pool
+   batches.  On a 1-core box the pool spawns no surplus domains and the
+   speedup is the planner's structural work reduction; with real cores
+   the chunks also run concurrently. *)
 let refinement_bench ~jobs ~reps ~out () =
   section
     (Printf.sprintf
-       "Refinement sweep wall-clock bench (sequential vs -j %d, best of %d)"
+       "Refinement sweep wall-clock bench (sequential vs -j %d planned, best \
+        of %d)"
        jobs reps);
   let tasks = sweep_tasks () in
-  let seq_s, seq_reports = time_sweep ~reps tasks in
-  let par_s, par_reports =
-    Parallel.Pool.with_pool ~jobs (fun pool -> time_sweep ~pool ~reps tasks)
+  let cells = sweep_cells tasks in
+  let seq_s, seq_reports = time_runs ~reps (fun () -> run_sweep tasks) in
+  let (par_s, par_reports), chunks, workers =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        let timed =
+          time_runs ~reps (fun () -> Mapping.Check.check_cells ~pool cells)
+        in
+        (timed, Parallel.Pool.batch_stats pool, Parallel.Pool.workers_spawned pool))
+  in
+  let seq_enums = count_enumerations (fun () -> run_sweep tasks) in
+  let par_enums =
+    count_enumerations (fun () -> Mapping.Check.check_cells cells)
   in
   let hits, misses = Litmus.Enumerate.cache_stats () in
   let identical = seq_reports = par_reports in
@@ -346,13 +395,27 @@ let refinement_bench ~jobs ~reps ~out () =
     List.length (List.filter (fun r -> not r.Mapping.Check.ok) seq_reports)
   in
   let speedup = seq_s /. par_s in
+  let chunk_size =
+    List.fold_left
+      (fun acc (c : Parallel.Pool.chunk_stat) -> max acc c.Parallel.Pool.c_len)
+      0 chunks
+  in
+  let domains_used =
+    List.length
+      (List.sort_uniq compare
+         (List.map
+            (fun (c : Parallel.Pool.chunk_stat) -> c.Parallel.Pool.c_domain)
+            chunks))
+  in
   Format.printf
-    "  %d tasks (%d schemes x %d programs): sequential %.3fs, -j %d %.3fs, \
-     speedup %.2fx@.  verdicts identical: %b; violations (expected bug \
-     reports): %d@."
+    "  %d tasks (%d schemes x %d programs): sequential %.3fs, -j %d planned \
+     %.3fs, speedup %.2fx@.  enumerations: %d per-task vs %d planned; %d \
+     chunk(s) of <=%d over %d domain(s) (%d worker(s) spawned)@.  verdicts \
+     identical: %b; violations (expected bug reports): %d@."
     (List.length tasks) (List.length all_schemes)
     (List.length Litmus.Catalog.mapping_corpus)
-    seq_s jobs par_s speedup identical violations;
+    seq_s jobs par_s speedup seq_enums par_enums (List.length chunks)
+    chunk_size domains_used workers identical violations;
   let oc = open_out out in
   Printf.fprintf oc
     {|{
@@ -364,9 +427,14 @@ let refinement_bench ~jobs ~reps ~out () =
   "reps": %d,
   "jobs": %d,
   "recommended_domains": %d,
+  "workers_spawned": %d,
   "sequential_s": %.6f,
   "parallel_s": %.6f,
   "speedup": %.3f,
+  "enumerations": { "sequential": %d, "planned": %d },
+  "chunk_size": %d,
+  "domains_used": %d,
+  "chunks": [%s],
   "verdicts_identical": %b,
   "violations": %d,
   "behaviour_cache": { "hits": %d, "misses": %d }
@@ -377,11 +445,157 @@ let refinement_bench ~jobs ~reps ~out () =
     (List.length Litmus.Catalog.mapping_corpus)
     (List.length tasks) reps jobs
     (Domain.recommended_domain_count ())
-    seq_s par_s speedup identical violations hits misses;
+    workers seq_s par_s speedup seq_enums par_enums chunk_size domains_used
+    (chunk_json chunks) identical violations hits misses;
   close_out oc;
   Format.printf "  wrote %s@." out;
   if not identical then begin
     Format.eprintf "refinement bench: parallel verdicts diverge!@.";
+    exit 2
+  end;
+  if speedup <= 1.0 then begin
+    Format.eprintf
+      "refinement bench: planned parallel sweep did not beat the per-task \
+       baseline (%.3fx)!@."
+      speedup;
+    exit 2
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Generator bench: QCheck corpus throughput → BENCH_generator.json    *)
+
+(* End-to-end throughput of the generated pipeline: generate + dedup a
+   seeded corpus, check the shape classes per-task vs through the
+   planner, then serve the full (pre-dedup) corpus from the verdict
+   memo — the steady-state cost of one verdict per generated program. *)
+let generator_bench ~jobs ~reps ~gen_n ~seed ~out () =
+  section
+    (Printf.sprintf
+       "Generator bench: %d seeded programs through the planned sweep (best \
+        of %d)"
+       gen_n reps);
+  let t0 = Unix.gettimeofday () in
+  let corpus, entries = Report.Sweep.generated_entries ~seed gen_n in
+  let gen_s = Unix.gettimeofday () -. t0 in
+  let classes = List.length corpus.Litmus.Generate.classes in
+  let dedup = Litmus.Generate.dedup_ratio corpus in
+  let cells =
+    List.concat_map
+      (fun (e : Report.Sweep.entry) ->
+        List.map
+          (fun (pname, src) ->
+            {
+              Mapping.Check.cell_scheme = e.Report.Sweep.scheme;
+              cell_program = pname;
+              cell_f = e.Report.Sweep.f;
+              cell_src_model = e.Report.Sweep.src_model;
+              cell_tgt_model = e.Report.Sweep.tgt_model;
+              cell_src = src;
+            })
+          e.Report.Sweep.corpus)
+      entries
+  in
+  let per_task () =
+    List.map
+      (fun (c : Mapping.Check.cell) ->
+        let r =
+          Mapping.Check.refines ~src_model:c.Mapping.Check.cell_src_model
+            ~tgt_model:c.Mapping.Check.cell_tgt_model
+            ~src:c.Mapping.Check.cell_src
+            ~tgt:(c.Mapping.Check.cell_f c.Mapping.Check.cell_src)
+        in
+        {
+          r with
+          Mapping.Check.name =
+            Printf.sprintf "%s: %s" c.Mapping.Check.cell_scheme
+              c.Mapping.Check.cell_program;
+        })
+      cells
+  in
+  let seq_s, seq_reports = time_runs ~reps per_task in
+  let (par_s, par_reports), workers =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        let timed =
+          time_runs ~reps (fun () -> Mapping.Check.check_cells ~pool cells)
+        in
+        (timed, Parallel.Pool.workers_spawned pool))
+  in
+  let identical = seq_reports = par_reports in
+  (* Memo-served steady state: every generated program (not just the
+     class representatives) gets a verdict; canonically-equal programs
+     share one.  Warm caches deliberately — this measures the serving
+     cost, the cold cost is the planned arm above. *)
+  let raw_programs =
+    List.map
+      (fun (p : Litmus.Ast.prog) -> (p.Litmus.Ast.name, p))
+      (Litmus.Generate.generate ~seed gen_n)
+  in
+  let memo_tasks =
+    List.concat_map
+      (fun (e : Report.Sweep.entry) ->
+        List.map (fun (pname, p) -> (e, pname, p)) raw_programs)
+      entries
+  in
+  Mapping.Check.clear_memo ();
+  let t0 = Unix.gettimeofday () in
+  let served =
+    List.map
+      (fun ((e : Report.Sweep.entry), pname, p) ->
+        Mapping.Check.check_memo ~scheme:e.Report.Sweep.scheme
+          ~f:e.Report.Sweep.f ~src_model:e.Report.Sweep.src_model
+          ~tgt_model:e.Report.Sweep.tgt_model (pname, p))
+      memo_tasks
+  in
+  let memo_s = Unix.gettimeofday () -. t0 in
+  let memo_hits, memo_misses = Mapping.Check.memo_stats () in
+  let memo_tasks_n = List.length memo_tasks in
+  let tasks_per_s = float_of_int memo_tasks_n /. memo_s in
+  let served_ok = List.for_all (fun r -> r.Mapping.Check.ok) served in
+  let speedup = seq_s /. par_s in
+  Format.printf
+    "  generated %d -> %d classes (dedup %.1f%%) in %.3fs; %d cells@.  \
+     per-task %.3fs, -j %d planned %.3fs, speedup %.2fx (%d worker(s)); \
+     verdicts identical: %b@.  memo-served: %d verdicts in %.3fs (%.0f \
+     tasks/s, %d hits / %d misses), all ok: %b@."
+    gen_n classes (100. *. dedup) gen_s (List.length cells) seq_s jobs par_s
+    speedup workers identical memo_tasks_n memo_s tasks_per_s memo_hits
+    memo_misses served_ok;
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  %s
+  "bench": "generated corpus: dedup + planned sweep + memo serving",
+  "programs": %d,
+  "seed": %d,
+  "classes": %d,
+  "dedup_ratio": %.4f,
+  "generate_s": %.6f,
+  "schemes": %d,
+  "cells": %d,
+  "reps": %d,
+  "jobs": %d,
+  "workers_spawned": %d,
+  "sequential_s": %.6f,
+  "parallel_s": %.6f,
+  "speedup": %.3f,
+  "verdicts_identical": %b,
+  "memo": { "tasks": %d, "wall_s": %.6f, "tasks_per_s": %.1f, "hits": %d, "misses": %d },
+  "all_ok": %b
+}
+|}
+    (envelope "generator") gen_n seed classes dedup gen_s
+    (List.length entries) (List.length cells) reps jobs workers seq_s par_s
+    speedup identical memo_tasks_n memo_s tasks_per_s memo_hits memo_misses
+    served_ok;
+  close_out oc;
+  Format.printf "  wrote %s@." out;
+  if not identical then begin
+    Format.eprintf "generator bench: planned verdicts diverge!@.";
+    exit 2
+  end;
+  if not served_ok then begin
+    Format.eprintf
+      "generator bench: a generated scheme reported a violation!@.";
     exit 2
   end
 
@@ -970,6 +1184,8 @@ type opts = {
   chaos_out : string;
   plans : int;
   seed : int;
+  gen_out : string;
+  gen_n : int;
 }
 
 let canonical = function
@@ -983,19 +1199,20 @@ let canonical = function
   | "dispatch" -> Some "dispatch"
   | "obs" | "observability" -> Some "obs"
   | "chaos" | "resilience" -> Some "chaos"
+  | "generator" | "generate" -> Some "generator"
   | _ -> None
 
 let all_sections =
   [ "tables"; "sec3"; "minimality"; "figures"; "ablations"; "bechamel";
-    "refinement"; "dispatch"; "obs"; "chaos" ]
+    "refinement"; "dispatch"; "obs"; "chaos"; "generator" ]
 
 let usage () =
   Format.eprintf
     "usage: main.exe [SECTION...] [-j N] [--reps N] [-o FILE] \
      [--dispatch-out FILE] [--obs-out FILE] [--trace-out FILE] \
-     [--chaos-out FILE] [--plans N] [--seed N] \
+     [--chaos-out FILE] [--plans N] [--seed N] [--gen-out FILE] [--gen-n N] \
      [--no-bechamel]@.sections: fig2 fig3 fig7 sec3 fig8 fig9 fig12..fig15 \
-     ablations bechamel refinement dispatch obs chaos@.";
+     ablations bechamel refinement dispatch obs chaos generator@.";
   exit 1
 
 let parse_args () =
@@ -1010,6 +1227,8 @@ let parse_args () =
   let chaos_out = ref "BENCH_chaos.json" in
   let plans = ref 3 in
   let seed = ref 42 in
+  let gen_out = ref "BENCH_generator.json" in
+  let gen_n = ref 1000 in
   let rec go = function
     | [] -> ()
     | "--no-bechamel" :: rest ->
@@ -1039,6 +1258,14 @@ let parse_args () =
         go rest
     | "--chaos-out" :: path :: rest ->
         chaos_out := path;
+        go rest
+    | "--gen-out" :: path :: rest ->
+        gen_out := path;
+        go rest
+    | "--gen-n" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n > 0 -> gen_n := n
+        | _ -> usage ());
         go rest
     | "--plans" :: n :: rest ->
         (match int_of_string_opt n with
@@ -1077,6 +1304,8 @@ let parse_args () =
     chaos_out = !chaos_out;
     plans = !plans;
     seed = !seed;
+    gen_out = !gen_out;
+    gen_n = !gen_n;
   }
 
 let () =
@@ -1091,6 +1320,8 @@ let () =
     chaos_out;
     plans;
     seed;
+    gen_out;
+    gen_n;
   } =
     parse_args ()
   in
@@ -1108,6 +1339,7 @@ let () =
       | "dispatch" -> dispatch_bench ~reps ~out:dispatch_out ()
       | "obs" -> obs_bench ~reps ~out:obs_out ~trace_out ()
       | "chaos" -> chaos_bench ~plans ~seed ~out:chaos_out ()
+      | "generator" -> generator_bench ~jobs ~reps ~gen_n ~seed ~out:gen_out ()
       | _ -> assert false)
     sections;
   (match pool with Some p -> Parallel.Pool.shutdown p | None -> ());

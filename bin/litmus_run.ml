@@ -173,6 +173,144 @@ let run_report dir scheme_filters metrics ~journal ~task_timeout ~task_retries
     if failures <> [] then 3 else if Report.Sweep.all_ok cells then 0 else 1
   end
 
+(* --generate N: sweep a seeded QCheck corpus (deduped into shape
+   classes) through the generated-sweep runner.  With --report DIR the
+   sweep is journaled (DIR/journal unless --journal), resumable,
+   coverage-probed and rendered like the default sweep; without
+   --report it is the smoke mode: generate, dedup, check every class
+   through the batch planner, print a summary. *)
+let run_generate ~n ~seed ~shard ~schemes ~report_dir ~journal ~resume ~jobs
+    ~metrics ~task_timeout ~task_retries ~inject =
+  let schemes = match schemes with [] -> None | fs -> Some fs in
+  let corpus, entries = Report.Sweep.generated_entries ?schemes ~seed n in
+  if entries = [] then begin
+    Format.eprintf "no generated scheme matches (known: %s)@."
+      (String.concat ", "
+         (List.map
+            (fun (e : Report.Sweep.entry) -> e.Report.Sweep.scheme)
+            (Report.Sweep.default_entries ())));
+    2
+  end
+  else begin
+    let classes = List.length corpus.Litmus.Generate.classes in
+    Format.printf
+      "generated %d program(s) (seed %d) -> %d shape class(es), dedup %.1f%%, \
+       %d scheme(s)@."
+      n seed classes
+      (100. *. Litmus.Generate.dedup_ratio corpus)
+      (List.length entries);
+    let pool =
+      match jobs with
+      | Some j when j > 1 -> Some (Parallel.Pool.create ~jobs:j ())
+      | _ -> None
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Parallel.Pool.shutdown pool)
+      (fun () ->
+        match report_dir with
+        | None ->
+            (* Smoke mode: one planned batch over every (scheme, class)
+               cell, no journal, no report. *)
+            let cells =
+              List.concat_map
+                (fun (e : Report.Sweep.entry) ->
+                  List.map
+                    (fun (pname, src) ->
+                      {
+                        Mapping.Check.cell_scheme = e.Report.Sweep.scheme;
+                        cell_program = pname;
+                        cell_f = e.Report.Sweep.f;
+                        cell_src_model = e.Report.Sweep.src_model;
+                        cell_tgt_model = e.Report.Sweep.tgt_model;
+                        cell_src = src;
+                      })
+                    e.Report.Sweep.corpus)
+                entries
+            in
+            let reports = Mapping.Check.check_cells ?pool cells in
+            let bad =
+              List.filter (fun (r : Mapping.Check.report) -> not r.ok) reports
+            in
+            let hits, misses = Litmus.Enumerate.cache_stats () in
+            Format.printf
+              "%d/%d generated cell(s) hold (%d enumeration(s), %d cache \
+               hit(s))@."
+              (List.length reports - List.length bad)
+              (List.length reports) misses hits;
+            List.iter
+              (fun (r : Mapping.Check.report) ->
+                Format.printf "%-32s VIOLATION (%d extra)@." r.name
+                  (List.length r.extra))
+              bad;
+            if bad = [] then 0 else 1
+        | Some dir ->
+            (try Unix.mkdir dir 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            let journal =
+              match journal with
+              | Some j -> j
+              | None -> Filename.concat dir "journal"
+            in
+            ignore resume;
+            let coverage = Report.Coverage.create () in
+            let policy =
+              {
+                Parallel.Supervise.default with
+                deadline_s = task_timeout;
+                retries = task_retries;
+                chaos =
+                  Option.map
+                    (fun i -> Core.Inject.fire_hook i Core.Inject.Pool_task)
+                    inject;
+              }
+            in
+            let g =
+              Report.Sweep.run_generated ~capture:true ~coverage ?pool
+                ~policy ~shard_size:shard ~probe_targets:true ~journal
+                entries
+            in
+            let j = g.Report.Sweep.gen_journaled in
+            if j.Report.Sweep.recovery.Parallel.Frontier.valid > 0 then
+              Format.printf "journal %s: %d verdict(s) replayed, %d computed@."
+                journal j.Report.Sweep.replayed j.Report.Sweep.computed;
+            Format.printf "coverage: %d shard(s) of <=%d cell(s); %s@."
+              (List.length g.Report.Sweep.gen_shards)
+              shard
+              (match g.Report.Sweep.gen_saturated_after with
+              | Some s ->
+                  Printf.sprintf
+                    "discriminating-axiom coverage saturated after shard %d" s
+              | None -> "still discovering new axiom pairs in the final shard");
+            let models =
+              List.sort_uniq
+                (fun (a : Axiom.Model.t) b ->
+                  compare a.Axiom.Model.name b.Axiom.Model.name)
+                (List.concat_map
+                   (fun (e : Report.Sweep.entry) ->
+                     [ e.Report.Sweep.src_model; e.Report.Sweep.tgt_model ])
+                   entries)
+            in
+            let bench = Report.Html.load_bench_dir dir in
+            let metrics_snap =
+              if metrics then Some (Obs.Metrics.snapshot ()) else None
+            in
+            let html, witnesses =
+              Report.Html.write ~dir ?metrics:metrics_snap ~coverage ~models
+                ~bench j.Report.Sweep.cells
+            in
+            Format.printf "wrote %s and %d witness artifact(s) to %s@." html
+              (List.length witnesses) dir;
+            List.iter
+              (fun (scheme, program, f) ->
+                Format.printf "%-32s %a@."
+                  (Printf.sprintf "%s: %s" scheme program)
+                  Parallel.Supervise.pp_failure f)
+              j.Report.Sweep.failures;
+            if j.Report.Sweep.failures <> [] then 3
+            else if Report.Sweep.all_ok j.Report.Sweep.cells then 0
+            else 1)
+  end
+
 let main files model_name verbose jobs metrics =
   if metrics then Obs.Metrics.enable ();
   match List.assoc_opt model_name models with
@@ -303,29 +441,69 @@ let inject_arg =
            supervision policy); $(b,journal-write) rules tear the \
            journal append mid-record, simulating a crash.")
 
+let generate_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "generate" ] ~docv:"N"
+        ~doc:
+          "Instead of checking litmus files, generate $(docv) seeded \
+           programs ($(b,--seed)), dedup them into shape classes and \
+           sweep the generated schemes over the class representatives.  \
+           With $(b,--report DIR) the sweep is journaled (resumable) and \
+           rendered like the default sweep; without it, a smoke check \
+           that prints the verdict summary.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "With $(b,--generate): generator seed — the corpus (and every \
+           verdict) is a pure function of ($(docv), N).")
+
+let shard_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "shard-size" ] ~docv:"CELLS"
+        ~doc:
+          "With $(b,--generate --report): journal granularity — each \
+           shard of $(docv) cells is one supervised pool batch, \
+           journaled on completion.")
+
 let main files model_name verbose jobs metrics report schemes journal resume
-    task_timeout task_retries inject_plan =
+    task_timeout task_retries inject_plan generate seed shard =
   let jobs =
     match jobs with
     | Some 0 -> Some (Domain.recommended_domain_count ())
     | j -> j
   in
-  match report with
-  | Some dir -> (
+  let inject_result =
+    match inject_plan with
+    | None -> Ok None
+    | Some s ->
+        Result.map
+          (fun p -> Some (Core.Inject.create p))
+          (Core.Inject.plan_of_string s)
+  in
+  match (generate, report) with
+  | Some n, _ -> (
+      match inject_result with
+      | Error msg ->
+          Format.eprintf "%s@." msg;
+          2
+      | Ok inject ->
+          if metrics then Obs.Metrics.enable ();
+          run_generate ~n ~seed ~shard ~schemes ~report_dir:report ~journal
+            ~resume ~jobs ~metrics ~task_timeout ~task_retries ~inject)
+  | None, Some dir -> (
       let journal =
         match (journal, resume) with
         | Some j, _ -> Some j
         | None, true -> Some (Filename.concat dir "journal")
         | None, false -> None
       in
-      match
-        match inject_plan with
-        | None -> Ok None
-        | Some s ->
-            Result.map
-              (fun p -> Some (Core.Inject.create p))
-              (Core.Inject.plan_of_string s)
-      with
+      match inject_result with
       | Error msg ->
           Format.eprintf "%s@." msg;
           2
@@ -333,9 +511,10 @@ let main files model_name verbose jobs metrics report schemes journal resume
           if metrics then Obs.Metrics.enable ();
           run_report dir schemes metrics ~journal ~task_timeout ~task_retries
             ~inject)
-  | None ->
+  | None, None ->
       if files = [] then begin
-        Format.eprintf "no litmus files given (or use --report DIR)@.";
+        Format.eprintf
+          "no litmus files given (or use --report DIR / --generate N)@.";
         2
       end
       else main files model_name verbose jobs metrics
@@ -346,6 +525,7 @@ let cmd =
     Term.(
       const main $ files_arg $ model_arg $ verbose_arg $ jobs_arg
       $ metrics_arg $ report_arg $ scheme_arg $ journal_arg $ resume_arg
-      $ task_timeout_arg $ task_retries_arg $ inject_arg)
+      $ task_timeout_arg $ task_retries_arg $ inject_arg $ generate_arg
+      $ seed_arg $ shard_arg)
 
 let () = exit (Cmd.eval' cmd)

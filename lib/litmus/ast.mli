@@ -70,6 +70,12 @@ val map_instrs : (instr -> instr list) -> prog -> prog
     [If] branches.  The rewriting of one instruction may expand to a
     sequence (used by the mapping schemes). *)
 
+val read_ann : Axiom.Event.read_ord -> string
+(** Ordering suffix used in renderings ([""], [".acq"], …). *)
+
+val write_ann : Axiom.Event.write_ord -> string
+val rmw_kind_name : rmw_kind -> string
+
 val pp_exp : Format.formatter -> exp -> unit
 val pp_instr : Format.formatter -> instr -> unit
 val pp_prog : Format.formatter -> prog -> unit

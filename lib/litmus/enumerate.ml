@@ -434,13 +434,17 @@ let per_loc_survivors c loc =
     in
     Some survivors
 
-(* Fold [f] over the model-consistent executions of [p], enumerating
-   with per-location pruning.  [Supervise.poll] marks the cooperative
-   cancellation points: Domains cannot be preempted, so a supervised
-   sweep's per-task deadline fires here, between candidates, rather
-   than never — an unsupervised run pays one domain-local read per
-   candidate. *)
-let fold_consistent (m : Axiom.Model.t) p f acc =
+(* Fold [f] over the pruned survivors of [p] — the candidates that pass
+   per-location coherence and atomicity, before any model's full
+   consistency predicate runs.  The prune only uses [Model.common]
+   properties, so the survivor set is model-independent: a batch
+   checking one program under several models enumerates here once and
+   filters per model (see {!behaviours_many}).  [Supervise.poll] marks
+   the cooperative cancellation points: Domains cannot be preempted, so
+   a supervised sweep's per-task deadline fires here, between
+   candidates, rather than never — an unsupervised run pays one
+   domain-local read per candidate. *)
+let fold_survivors p f acc =
   let locs = Ast.locations p in
   List.fold_left
     (fun acc c ->
@@ -455,9 +459,16 @@ let fold_consistent (m : Axiom.Model.t) p f acc =
             let rf = Rel.union_all (List.map fst choice) in
             let co = Rel.union_all (List.map snd choice) in
             let x = execution_of_combo c ~rf ~co in
-            if m.Axiom.Model.consistent x then f acc x c.c_regs else acc)
+            f acc x c.c_regs)
           acc (cartesian parts))
     acc (combos p)
+
+(* Fold over the model-consistent executions: survivors filtered by the
+   model's full predicate. *)
+let fold_consistent (m : Axiom.Model.t) p f acc =
+  fold_survivors p
+    (fun acc x regs -> if m.Axiom.Model.consistent x then f acc x regs else acc)
+    acc
 
 let executions (m : Axiom.Model.t) p =
   List.rev (fold_consistent m p (fun acc x _ -> x :: acc) [])
@@ -498,15 +509,83 @@ let behaviours_probed ~on_reject (m : Axiom.Model.t) p =
    variant of the target, and every scheme shares corpus sources.  The
    cache is keyed by the model's name and the full program AST
    (structural equality — the program is its own hash key, so renamed
-   variants never collide), and is domain-safe: lookups and inserts are
-   mutex-guarded, while enumeration runs outside the lock (two domains
-   may race to compute the same entry; both compute the same value). *)
+   variants never collide).
+
+   It is two-level.  Each domain owns a private (DLS) table consulted
+   and written lock-free on the hot path; a shared mutex-guarded table
+   backs it.  Fresh entries accumulate in the domain's [dirty] list and
+   are folded into the shared table at pool batch boundaries
+   ([Pool.on_join]) — so under a parallel sweep the shared mutex is
+   touched once per miss (read-through) and once per batch (merge), not
+   once per lookup.  Two domains may still race to compute the same
+   entry; both compute the same value, and the merge is first-write
+   wins.  [clear_caches] advances a generation counter that lazily
+   invalidates every domain's private table, so a merge can never
+   resurrect pre-clear entries. *)
 let behaviours_cache : (string * Ast.prog, behaviour list) Hashtbl.t =
   Hashtbl.create 64
 
 let behaviours_mutex = Mutex.create ()
 let cache_hits = Atomic.make 0
 let cache_misses = Atomic.make 0
+let cache_gen = Atomic.make 0
+
+type local_cache = {
+  mutable gen : int;
+  tbl : (string * Ast.prog, behaviour list) Hashtbl.t;
+  mutable dirty : ((string * Ast.prog) * behaviour list) list;
+}
+
+let local_key : local_cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { gen = Atomic.get cache_gen; tbl = Hashtbl.create 64; dirty = [] })
+
+let local () =
+  let l = Domain.DLS.get local_key in
+  let g = Atomic.get cache_gen in
+  if l.gen <> g then begin
+    Hashtbl.reset l.tbl;
+    l.dirty <- [];
+    l.gen <- g
+  end;
+  l
+
+(* Merge this domain's unpublished entries into the shared table.  The
+   generation is re-checked under the lock so a concurrent
+   [clear_caches] wins over a straggling merge. *)
+let merge_local () =
+  let l = local () in
+  if l.dirty <> [] then begin
+    let entries = l.dirty in
+    l.dirty <- [];
+    Mutex.protect behaviours_mutex (fun () ->
+        if Atomic.get cache_gen = l.gen then
+          List.iter
+            (fun (k, v) ->
+              if not (Hashtbl.mem behaviours_cache k) then
+                Hashtbl.replace behaviours_cache k v)
+            entries)
+  end
+
+let () = Parallel.Pool.on_join merge_local
+
+(* Local first, then read-through to the shared table. *)
+let find_cached l key =
+  match Hashtbl.find_opt l.tbl key with
+  | Some bs -> Some bs
+  | None -> (
+      match
+        Mutex.protect behaviours_mutex (fun () ->
+            Hashtbl.find_opt behaviours_cache key)
+      with
+      | Some bs ->
+          Hashtbl.replace l.tbl key bs;
+          Some bs
+      | None -> None)
+
+let remember l key bs =
+  Hashtbl.replace l.tbl key bs;
+  l.dirty <- (key, bs) :: l.dirty
 
 let behaviours_uncached (m : Axiom.Model.t) p =
   let bs =
@@ -518,24 +597,76 @@ let behaviours_uncached (m : Axiom.Model.t) p =
 
 let behaviours (m : Axiom.Model.t) p =
   let key = (m.Axiom.Model.name, p) in
-  let cached =
-    Mutex.protect behaviours_mutex (fun () ->
-        Hashtbl.find_opt behaviours_cache key)
-  in
-  match cached with
+  let l = local () in
+  match find_cached l key with
   | Some bs ->
       Atomic.incr cache_hits;
       bs
   | None ->
       Atomic.incr cache_misses;
       let bs = behaviours_uncached m p in
-      Mutex.protect behaviours_mutex (fun () ->
-          Hashtbl.replace behaviours_cache key bs);
+      remember l key bs;
       bs
+
+(* One pruned enumeration serving several models.  The survivor set is
+   model-independent (see {!fold_survivors}), so a batch that needs the
+   same program under k models pays one enumeration plus k cheap
+   filters instead of k enumerations — the structural win the batch
+   refinement planner ([Mapping.Check.check_cells]) is built on.
+   Results are exactly [behaviours m p] for each model, including cache
+   interaction. *)
+let behaviours_many (models : Axiom.Model.t list) p =
+  (* Dedup by model name, preserving first-occurrence order. *)
+  let seen = Hashtbl.create 8 in
+  let models =
+    List.filter
+      (fun (m : Axiom.Model.t) ->
+        if Hashtbl.mem seen m.name then false
+        else begin
+          Hashtbl.add seen m.name ();
+          true
+        end)
+      models
+  in
+  let l = local () in
+  let missing =
+    List.filter
+      (fun (m : Axiom.Model.t) ->
+        match find_cached l (m.name, p) with
+        | Some _ -> false
+        | None -> true)
+      models
+  in
+  (match missing with
+  | [] -> ()
+  | ms ->
+      let accs = List.map (fun m -> (m, ref [])) ms in
+      fold_survivors p
+        (fun () x regs ->
+          List.iter
+            (fun ((m : Axiom.Model.t), acc) ->
+              if m.consistent x then acc := { mem = X.behaviour x; regs } :: !acc)
+            accs)
+        ();
+      List.iter
+        (fun ((m : Axiom.Model.t), acc) ->
+          Atomic.incr cache_misses;
+          remember l (m.name, p) (List.sort_uniq behaviour_compare !acc))
+        accs);
+  List.map
+    (fun (m : Axiom.Model.t) ->
+      let key = (m.name, p) in
+      match Hashtbl.find_opt l.tbl key with
+      | Some bs ->
+          if not (List.memq m missing) then Atomic.incr cache_hits;
+          (m.name, bs)
+      | None -> assert false)
+    models
 
 let cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
 
 let clear_caches () =
+  Atomic.incr cache_gen;
   Mutex.protect behaviours_mutex (fun () -> Hashtbl.reset behaviours_cache);
   Atomic.set cache_hits 0;
   Atomic.set cache_misses 0;

@@ -62,12 +62,29 @@ val behaviours_probed :
 
 (** The set of behaviours of the consistent executions, deduplicated and
     sorted.  Uses the pruned enumeration (see {!executions}) and a
-    process-wide, domain-safe cache keyed by (model name, program AST):
-    within one run, the same (model, program) pair is enumerated once.
-    Distinct models must therefore carry distinct names (they do). *)
+    two-level domain-safe cache keyed by (model name, program AST): a
+    lock-free domain-private table in front of a shared mutex-guarded
+    one, with fresh entries merged into the shared table at pool batch
+    boundaries ([Parallel.Pool.on_join]).  Within one run, the same
+    (model, program) pair is enumerated once per domain at worst, once
+    overall in the common case.  Distinct models must therefore carry
+    distinct names (they do). *)
 val behaviours : Axiom.Model.t -> Ast.prog -> behaviour list
 
-(** [(hits, misses)] of the behaviours cache since start/last clear. *)
+(** [behaviours_many models p] is
+    [List.map (fun m -> (m.name, behaviours m p)) models] computed with
+    a {e single} pruned enumeration for all cache-missing models: the
+    pruning only uses properties common to every model, so the survivor
+    set is shared and each model adds one cheap consistency filter.
+    Duplicate model names are served once.  This is the batch
+    refinement planner's enumeration primitive. *)
+val behaviours_many :
+  Axiom.Model.t list -> Ast.prog -> (string * behaviour list) list
+
+(** [(hits, misses)] of the behaviours cache since start/last clear.
+    Hits count local- and shared-table hits alike; misses count
+    enumerations (one per model even when served by a shared
+    [behaviours_many] survivor pass). *)
 val cache_stats : unit -> int * int
 
 (** Empty the behaviours cache and the linear-extension memo

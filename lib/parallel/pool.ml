@@ -10,20 +10,27 @@ let () =
              (Printexc.to_string f.exn))
     | _ -> None)
 
-(* A batch of tasks being distributed: workers pull indices from [next]
-   until it passes [n]; the worker completing the last task ([remaining]
-   hitting 0) signals the submitter. [gen] lets a worker tell a fresh
-   batch from the one it already drained. *)
+type chunk_stat = { c_domain : int; c_start : int; c_len : int; c_us : float }
+
+(* A batch of tasks being distributed.  Scheduling is chunked: workers
+   steal whole (start, len) slices from [next] rather than single task
+   indices, so the per-task cost is amortised over the chunk and a
+   domain that lands a cheap slice simply comes back for another.  The
+   worker completing the last chunk ([remaining] hitting 0) signals the
+   submitter.  [gen] lets a worker tell a fresh batch from the one it
+   already drained. *)
 type batch = {
   gen : int;
   run : int -> unit;  (* must not raise *)
-  n : int;
-  next : int Atomic.t;
-  remaining : int Atomic.t;
+  chunks : (int * int) array;  (* (start, len) slices of the task array *)
+  next : int Atomic.t;  (* next chunk to steal *)
+  remaining : int Atomic.t;  (* chunks outstanding *)
+  stats : chunk_stat option array;  (* one slot per chunk, owner-written *)
 }
 
 type t = {
-  jobs : int;
+  jobs : int;  (* requested parallelism (the [-j] figure) *)
+  spawned : int;  (* worker domains actually running *)
   mutable workers : unit Domain.t list;
   m : Mutex.t;
   have_work : Condition.t;
@@ -31,6 +38,7 @@ type t = {
   mutable batch : batch option;
   mutable gen : int;
   mutable stopped : bool;
+  mutable last_stats : chunk_stat list;  (* previous parallel batch *)
   submit : Mutex.t;  (* serialises concurrent [map] calls *)
 }
 
@@ -40,6 +48,24 @@ type t = {
 let busy : bool ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref false)
 
+(* Join hooks run by every domain when it finishes draining a batch —
+   the pool's phase boundary.  Consumers use them to merge per-domain
+   caches back into shared state (see [Litmus.Enumerate]); hooks must
+   be cheap, re-entrant and must not raise (raises are swallowed). *)
+let join_hooks : (unit -> unit) list ref = ref []
+let join_m = Mutex.create ()
+
+let on_join f =
+  Mutex.lock join_m;
+  join_hooks := f :: !join_hooks;
+  Mutex.unlock join_m
+
+let run_join_hooks () =
+  Mutex.lock join_m;
+  let hs = !join_hooks in
+  Mutex.unlock join_m;
+  List.iter (fun f -> try f () with _ -> ()) hs
+
 (* Pool utilization: tasks are counted in the worker that ran them
    (the sharded registry merges them on snapshot), drain spans show
    each worker's busy window per batch, and the batch-size histogram
@@ -47,15 +73,45 @@ let busy : bool ref Domain.DLS.key =
 let m_tasks = lazy (Obs.Metrics.counter "pool.tasks")
 let m_batches = lazy (Obs.Metrics.counter "pool.batches")
 let m_batch_tasks = lazy (Obs.Metrics.histogram "pool.batch.tasks")
+let m_chunks = lazy (Obs.Metrics.counter "pool.chunks")
 let m_drain_ns = lazy (Obs.Metrics.histogram "pool.drain.ns")
 let m_jobs = lazy (Obs.Metrics.gauge "pool.jobs")
 
+(* Aim for ~4 chunks per draining domain: coarse enough that the
+   steal/bookkeeping cost disappears into the chunk, fine enough that
+   one slow slice can be rebalanced by idle domains stealing the
+   rest. *)
+let plan_chunks ~drainers n =
+  let size = max 1 (n / (max 1 drainers * 4)) in
+  let nchunks = (n + size - 1) / size in
+  Array.init nchunks (fun i ->
+      let start = i * size in
+      (start, min size (n - start)))
+
 let drain t b =
+  let nchunks = Array.length b.chunks in
+  let dom = (Domain.self () :> int) in
   let rec go () =
-    let i = Atomic.fetch_and_add b.next 1 in
-    if i < b.n then begin
-      b.run i;
-      Obs.Metrics.incr (Lazy.force m_tasks);
+    let c = Atomic.fetch_and_add b.next 1 in
+    if c < nchunks then begin
+      let start, len = b.chunks.(c) in
+      let t0 = Obs.Profile.now_us () in
+      for i = start to start + len - 1 do
+        b.run i;
+        Obs.Metrics.incr (Lazy.force m_tasks)
+      done;
+      b.stats.(c) <-
+        Some
+          {
+            c_domain = dom;
+            c_start = start;
+            c_len = len;
+            c_us = Obs.Profile.now_us () -. t0;
+          };
+      Obs.Metrics.incr (Lazy.force m_chunks);
+      (* The plain [stats] write above is published to the submitter by
+         this decrement (it only reads the array once [remaining] hits
+         0). *)
       if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
         Mutex.lock t.m;
         Condition.broadcast t.finished;
@@ -89,19 +145,36 @@ let worker t =
     | Some b ->
         last := b.gen;
         drain t b;
+        (* Batch boundary for this domain: merge local caches out. *)
+        run_join_hooks ();
         loop ()
   in
   loop ()
 
-let create ?jobs () =
+let recommended () = Domain.recommended_domain_count ()
+
+let create ?jobs ?(force_spawn = false) () =
   let jobs =
     match jobs with
     | Some j -> max 1 j
     | None -> Domain.recommended_domain_count ()
   in
+  (* On OCaml 5, every live domain participates in each stop-the-world
+     minor collection — on a machine with fewer cores than [jobs], even
+     a *parked* surplus domain slows allocation-heavy tasks measurably
+     (~3x on one core).  So never spawn beyond what the runtime
+     recommends; the caller still drains, so a [-j 2] pool on a 1-core
+     box is the chunked engine minus the extra domains.  [force_spawn]
+     overrides the cap for tests that need real cross-domain traffic. *)
+  let cap =
+    if force_spawn then jobs
+    else min jobs (Domain.recommended_domain_count ())
+  in
+  let spawned = max 0 (cap - 1) in
   let t =
     {
       jobs;
+      spawned;
       workers = [];
       m = Mutex.create ();
       have_work = Condition.create ();
@@ -109,13 +182,16 @@ let create ?jobs () =
       batch = None;
       gen = 0;
       stopped = false;
+      last_stats = [];
       submit = Mutex.create ();
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <- List.init spawned (fun _ -> Domain.spawn (fun () -> worker t));
   t
 
 let jobs t = t.jobs
+let workers_spawned t = t.spawned
+let batch_stats t = t.last_stats
 
 let shutdown t =
   Mutex.lock t.m;
@@ -154,11 +230,16 @@ let map t f xs =
   else begin
     let arr = Array.of_list xs in
     let results = Array.make n None in
+    let chunks = plan_chunks ~drainers:(t.spawned + 1) n in
     Obs.Metrics.incr (Lazy.force m_batches);
     Obs.Metrics.observe (Lazy.force m_batch_tasks) n;
     Obs.Metrics.set (Lazy.force m_jobs) t.jobs;
     Obs.Trace.instant ~cat:"pool"
-      ~args:(fun () -> [ ("tasks", string_of_int n) ])
+      ~args:(fun () ->
+        [
+          ("tasks", string_of_int n);
+          ("chunks", string_of_int (Array.length chunks));
+        ])
       "submit";
     flag := true;
     Fun.protect
@@ -174,9 +255,10 @@ let map t f xs =
               {
                 gen = t.gen;
                 run = run_task f arr results;
-                n;
+                chunks;
                 next = Atomic.make 0;
-                remaining = Atomic.make n;
+                remaining = Atomic.make (Array.length chunks);
+                stats = Array.make (Array.length chunks) None;
               }
             in
             t.batch <- Some b;
@@ -189,7 +271,11 @@ let map t f xs =
               Condition.wait t.finished t.m
             done;
             t.batch <- None;
-            Mutex.unlock t.m));
+            Mutex.unlock t.m;
+            t.last_stats <-
+              Array.to_list b.stats
+              |> List.filter_map (fun s -> s);
+            run_join_hooks ()));
     Array.to_list (Array.map Option.get results)
   end
 
@@ -210,8 +296,8 @@ let map_list ?pool f xs =
 let map_safe ?pool f xs =
   match pool with None -> map_seq f xs | Some t -> map t f xs
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?force_spawn f =
+  let t = create ?jobs ?force_spawn () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* ------------------------------------------------------------------ *)

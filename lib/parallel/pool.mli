@@ -2,10 +2,11 @@
 
     The refinement checker's workloads (corpus × scheme sweeps, per-fence
     minimality deletions, figure cells, litmus files) are lists of small
-    independent pure tasks.  A pool owns [jobs - 1] worker domains (the
-    caller is the remaining worker) that pull task indices from a shared
-    atomic counter, so scheduling cost per task is a couple of atomic
-    operations and results land in an index-addressed array:
+    independent pure tasks.  A pool owns worker domains (the caller is
+    the remaining worker) that steal {e chunks} — contiguous (start,
+    len) slices of the task array — from a shared atomic counter, so the
+    scheduling cost is amortised over a chunk rather than paid per task,
+    and results land in an index-addressed array:
 
     - {b deterministic ordering}: [map] returns results in input order,
       whatever interleaving the domains ran with;
@@ -16,10 +17,15 @@
     - {b nesting safety}: a [map] issued from inside a pool task (or
       reentrantly from the same domain) degrades to the sequential path
       rather than deadlocking, so parallel consumers can freely call
-      other parallel consumers.
+      other parallel consumers;
+    - {b core-aware sizing}: worker domains are capped at
+      [Domain.recommended_domain_count () - 1] whatever [jobs] asks
+      for, because on OCaml 5 every live domain joins each
+      stop-the-world minor collection and surplus domains slow
+      allocation-heavy tasks down even while parked.
 
     Pools are cheap to keep around; create one per process (or use
-    {!default}) and reuse it across sweeps. *)
+    {!default}) and reuse it across sweeps and bench sections. *)
 
 type t
 
@@ -30,13 +36,44 @@ type fault = { index : int; exn : exn; backtrace : string }
 
 exception Task_failed of fault
 
-(** [create ~jobs ()] spawns a pool of [jobs] workers ([jobs - 1]
-    domains plus the calling domain).  Defaults to
-    [Domain.recommended_domain_count ()].  [jobs <= 1] yields a
-    sequential pool that runs every task on the caller. *)
-val create : ?jobs:int -> unit -> t
+(** Per-chunk accounting from the last parallel batch: which domain ran
+    the chunk, the task-index slice it covered and its wall-clock
+    duration.  This is what makes a speedup (or the lack of one)
+    diagnosable from a bench artifact alone. *)
+type chunk_stat = { c_domain : int; c_start : int; c_len : int; c_us : float }
 
+(** [create ~jobs ()] builds a pool of requested parallelism [jobs]
+    (defaults to [Domain.recommended_domain_count ()]).  At most
+    [min jobs (Domain.recommended_domain_count ()) - 1] worker domains
+    are actually spawned — the calling domain always drains too, and
+    spawning past the core count only adds GC-synchronisation stalls.
+    [jobs <= 1] yields a sequential pool that runs every task on the
+    caller.  [force_spawn] disables the core cap (tests that need real
+    cross-domain traffic on small machines). *)
+val create : ?jobs:int -> ?force_spawn:bool -> unit -> t
+
+(** The requested parallelism (the [-j] figure), not the spawn count. *)
 val jobs : t -> int
+
+(** Worker domains actually spawned (see {!create}); the pool drains
+    with [workers_spawned t + 1] domains. *)
+val workers_spawned : t -> int
+
+(** [Domain.recommended_domain_count ()], re-exported so consumers can
+    report the machine's view next to the requested [-j]. *)
+val recommended : unit -> int
+
+(** Chunk accounting for the most recent parallel batch ran by this
+    pool ([[]] before the first one, or when every batch degraded to
+    the sequential path). *)
+val batch_stats : t -> chunk_stat list
+
+(** [on_join f] registers [f] to run in every domain when it finishes
+    draining a batch (and in the submitter once the batch completes) —
+    the hook point where per-domain caches merge back into shared
+    state.  Hooks must be cheap and must not raise; raised exceptions
+    are swallowed.  Registration is global and permanent. *)
+val on_join : (unit -> unit) -> unit
 
 (** Join the worker domains.  The pool must not be used afterwards. *)
 val shutdown : t -> unit
@@ -63,7 +100,7 @@ val map_safe : ?pool:t -> ('a -> 'b) -> 'a list -> ('b, fault) result list
 
 (** [with_pool ?jobs f] runs [f] with a fresh pool and always shuts it
     down. *)
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?force_spawn:bool -> (t -> 'a) -> 'a
 
 (** {1 Default pool}
 

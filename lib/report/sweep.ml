@@ -432,3 +432,251 @@ let run_journaled ?(capture = false) ?coverage ?max_witnesses
     computed = !computed;
     recovery;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Generated corpora: sharded, pool-aware, saturation-tracking.
+
+   A generated sweep is the journaled sweep scaled up: 10⁴ programs
+   dedup into a few thousand shape classes checked under a handful of
+   schemes.  Cells are processed in fixed-size shards; within a shard,
+   missing cells run as one supervised pool batch (the batch planner's
+   chunk scheduling and shared enumeration apply), and the shard's
+   verdicts are journaled afterwards in deterministic order — the shard
+   is the unit of crash-resumability, the cell remains the unit of
+   verdict identity.  Per shard, the runner tracks how many previously
+   unseen (model, axiom) coverage pairs the shard's cells discovered;
+   when late shards stop contributing new pairs, the generated corpus
+   has saturated the discriminating-axiom coverage the matrix can
+   report. *)
+
+let default_generated_schemes =
+  [ "fig7a/x86->tcg"; "risotto-rmw2/arm-orig"; "risotto-rmw2/arm-fix" ]
+
+let generated_entries ?config ?(schemes = default_generated_schemes) ~seed n =
+  let c = Litmus.Generate.corpus ?config ~seed n in
+  let corpus =
+    List.map
+      (fun (cl : Litmus.Generate.cls) -> (cl.cls_name, cl.cls_rep))
+      c.classes
+  in
+  let entries =
+    List.filter_map
+      (fun (e : entry) ->
+        if List.mem e.scheme schemes then Some { e with corpus } else None)
+      (default_entries ())
+  in
+  (c, entries)
+
+type shard_stat = {
+  shard_index : int;  (* 1-based *)
+  shard_cells : int;
+  shard_new_pairs : int;  (* (model, axiom) pairs first seen in this shard *)
+}
+
+type generated = {
+  gen_journaled : journaled;
+  gen_shards : shard_stat list;
+  gen_saturated_after : int option;
+      (* [Some s]: no shard after the [s]th discovered a new
+         (model, axiom) pair.  [None]: still discovering in the final
+         shard (or no coverage requested). *)
+}
+
+let rec take_split n xs =
+  if n = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> ([], [])
+    | x :: rest ->
+        let h, t = take_split (n - 1) rest in
+        (x :: h, t)
+
+let run_generated ?(capture = false) ?coverage ?max_witnesses
+    ?(policy = Parallel.Supervise.default) ?pool ?(shard_size = 256)
+    ?(probe_targets = false) ~journal entries =
+  let fr, recovery = Parallel.Frontier.open_ journal in
+  let verdicts = Hashtbl.create 1024 in
+  List.iter
+    (fun (k, v) -> Hashtbl.replace verdicts k v)
+    recovery.Parallel.Frontier.entries;
+  let replayed = ref 0 and computed = ref 0 in
+  let failures = ref [] and written = ref [] in
+  let decorate (e : entry) src report =
+    if capture && not report.Mapping.Check.ok then
+      ( Mapping.Witness.capture ?max_witnesses ~src_model:e.src_model
+          ~tgt_model:e.tgt_model ~src ~tgt:(e.f src) report,
+        Some
+          (Mapping.Witness.shrink ~scheme:e.f ~src_model:e.src_model
+             ~tgt_model:e.tgt_model src) )
+    else ([], None)
+  in
+  let compute ((e : entry), program, src) =
+    let tgt = e.f src in
+    let report =
+      Mapping.Check.refines ~src_model:e.src_model ~tgt_model:e.tgt_model ~src
+        ~tgt
+    in
+    let report =
+      {
+        report with
+        Mapping.Check.name = Printf.sprintf "%s: %s" e.scheme program;
+      }
+    in
+    let deltas =
+      match coverage with
+      | None -> []
+      | Some _ ->
+          let scratch = Coverage.create () in
+          ignore
+            (En.behaviours_probed
+               ~on_reject:(fun x ->
+                 Coverage.record ~quiet:true scratch ~scheme:e.scheme ~program
+                   ~model:e.src_model x)
+               e.src_model src);
+          (* Generated programs are where the target models' axioms get
+             exercised: optionally classify the target side's rejected
+             candidates too. *)
+          if probe_targets then
+            ignore
+              (En.behaviours_probed
+                 ~on_reject:(fun x ->
+                   Coverage.record ~quiet:true scratch ~scheme:e.scheme
+                     ~program ~model:e.tgt_model x)
+                 e.tgt_model tgt);
+          Coverage.counts scratch
+    in
+    (report, deltas)
+  in
+  let merge_deltas deltas =
+    match coverage with
+    | None -> ()
+    | Some cov -> List.iter (fun (k, n) -> Coverage.add cov k n) deltas
+  in
+  let seen_pairs = Hashtbl.create 64 in
+  let flat =
+    List.concat_map
+      (fun (e : entry) ->
+        List.map (fun (program, src) -> (e, program, src)) e.corpus)
+      entries
+  in
+  let rec shard_loop idx cells_acc stats_acc rest =
+    match rest with
+    | [] -> (List.concat (List.rev cells_acc), List.rev stats_acc)
+    | _ ->
+        let shard, rest = take_split shard_size rest in
+        (* Classify the shard's cells: replayable from the journal, or
+           missing and due for the (pooled) compute batch. *)
+        let prepared =
+          List.map
+            (fun (((e : entry), program, _src) as c) ->
+              let key = cell_key e.scheme program in
+              match Hashtbl.find_opt verdicts key with
+              | Some v -> (
+                  match verdict_of_string ~scheme:e.scheme ~program v with
+                  | rd -> `Replay (c, key, rd, v)
+                  | exception Bad_record _ -> `Compute (c, key))
+              | None -> `Compute (c, key))
+            shard
+        in
+        let to_compute =
+          List.filter_map
+            (function `Compute (c, key) -> Some (c, key) | `Replay _ -> None)
+            prepared
+        in
+        let rtbl = Hashtbl.create 64 in
+        (match to_compute with
+        | [] -> ()
+        | _ ->
+            let results =
+              Parallel.Supervise.map ?pool policy
+                (fun (c, _key) -> compute c)
+                to_compute
+            in
+            List.iter2
+              (fun (_, key) r -> Hashtbl.replace rtbl key r)
+              to_compute results);
+        let new_pairs = ref 0 in
+        let note_deltas deltas =
+          List.iter
+            (fun ((k : Coverage.key), _) ->
+              let pair = (k.Coverage.model, k.Coverage.axiom) in
+              if not (Hashtbl.mem seen_pairs pair) then begin
+                Hashtbl.add seen_pairs pair ();
+                incr new_pairs
+              end)
+            deltas
+        in
+        let cells =
+          List.filter_map
+            (function
+              | `Replay (((e : entry), program, src), key, (report, deltas), v)
+                ->
+                  incr replayed;
+                  merge_deltas deltas;
+                  note_deltas deltas;
+                  written := (key, v) :: !written;
+                  let witnesses, shrunk = decorate e src report in
+                  Some
+                    { scheme = e.scheme; program; report; witnesses; shrunk }
+              | `Compute (((e : entry), program, src), key) -> (
+                  match Hashtbl.find rtbl key with
+                  | Ok (report, deltas) ->
+                      incr computed;
+                      (* Journal in deterministic shard order, after the
+                         batch: the shard is the resume granule. *)
+                      Parallel.Frontier.append fr ~key
+                        ~value:(verdict_to_string report deltas);
+                      merge_deltas deltas;
+                      note_deltas deltas;
+                      written :=
+                        (key, verdict_to_string report deltas) :: !written;
+                      let witnesses, shrunk = decorate e src report in
+                      Some
+                        {
+                          scheme = e.scheme;
+                          program;
+                          report;
+                          witnesses;
+                          shrunk;
+                        }
+                  | Error failure ->
+                      failures := (e.scheme, program, failure) :: !failures;
+                      None))
+            prepared
+        in
+        let stat =
+          {
+            shard_index = idx;
+            shard_cells = List.length shard;
+            shard_new_pairs = !new_pairs;
+          }
+        in
+        shard_loop (idx + 1) (cells :: cells_acc) (stat :: stats_acc) rest
+  in
+  let cells, shard_stats = shard_loop 1 [] [] flat in
+  Parallel.Frontier.checkpoint fr (List.rev !written);
+  Parallel.Frontier.close fr;
+  let nshards = List.length shard_stats in
+  let saturated_after =
+    match coverage with
+    | None -> None
+    | Some _ ->
+        let last_new =
+          List.fold_left
+            (fun acc s -> if s.shard_new_pairs > 0 then s.shard_index else acc)
+            0 shard_stats
+        in
+        if last_new < nshards then Some last_new else None
+  in
+  {
+    gen_journaled =
+      {
+        cells;
+        failures = List.rev !failures;
+        replayed = !replayed;
+        computed = !computed;
+        recovery;
+      };
+    gen_shards = shard_stats;
+    gen_saturated_after = saturated_after;
+  }

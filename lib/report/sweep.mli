@@ -92,6 +92,70 @@ val run_journaled :
   entry list ->
   journaled
 
+(** {1 Generated corpora}
+
+    The journaled sweep scaled to 10⁴+ QCheck-generated programs
+    ({!Litmus.Generate}), deduped into shape classes and processed in
+    fixed-size shards: within a shard, missing cells run as one
+    supervised pool batch, and the shard's verdicts are journaled
+    afterwards in deterministic order — the shard is the unit of
+    crash-resumability, the cell stays the unit of verdict identity. *)
+
+(** The schemes a generated sweep checks by default: the paper's
+    verified x86→TCG frontend mapping and the corrected RMW lowering
+    under both the original and fixed ARM models — sound schemes, so a
+    clean generated sweep exits 0, and the two ARM cells share one
+    enumeration per target program under the batch planner. *)
+val default_generated_schemes : string list
+
+(** [generated_entries ~seed n] generates [n] programs, dedups them
+    into shape classes ({!Litmus.Generate.corpus}) and instantiates the
+    named schemes (default {!default_generated_schemes}, resolved
+    against {!default_entries}) over the class representatives. *)
+val generated_entries :
+  ?config:Litmus.Generate.config ->
+  ?schemes:string list ->
+  seed:int ->
+  int ->
+  Litmus.Generate.corpus * entry list
+
+type shard_stat = {
+  shard_index : int;  (** 1-based *)
+  shard_cells : int;
+  shard_new_pairs : int;
+      (** (model, axiom) coverage pairs first seen in this shard *)
+}
+
+type generated = {
+  gen_journaled : journaled;
+  gen_shards : shard_stat list;
+  gen_saturated_after : int option;
+      (** [Some s]: no shard after the [s]th discovered a new
+          (model, axiom) pair — the corpus saturated the
+          discriminating-axiom coverage.  [None]: still discovering in
+          the final shard, or no coverage requested. *)
+}
+
+(** [run_generated ~journal entries] — see the section comment.  With
+    [?pool], each shard's missing cells are one pool batch (supervised
+    via {!Parallel.Supervise.map}); verdicts are identical to the
+    sequential path.  [probe_targets] additionally classifies the
+    {e target}-side rejected candidates under the target model in the
+    coverage accounting (that is where the ARM/TCG axioms get
+    exercised).  Resumes from [journal] exactly like
+    {!run_journaled}. *)
+val run_generated :
+  ?capture:bool ->
+  ?coverage:Coverage.t ->
+  ?max_witnesses:int ->
+  ?policy:Parallel.Supervise.policy ->
+  ?pool:Parallel.Pool.t ->
+  ?shard_size:int ->
+  ?probe_targets:bool ->
+  journal:string ->
+  entry list ->
+  generated
+
 val json_of_behaviour : Litmus.Enumerate.behaviour -> Json.t
 val json_of_execution : Axiom.Execution.t -> Json.t
 

@@ -6,7 +6,29 @@
 # place allowed to raise.
 #
 # Run via `dune build @check-no-crash` (part of `dune runtest`).
+#
+# A second mode smokes the generated corpus end to end:
+#
+#   tools/check_no_crash.sh --generated N SEED
+#
+# generates N seeded programs, dedups them and checks every generated
+# scheme through the batch planner (litmus_run --generate) — every
+# verdict must hold (the generated schemes are the paper's sound
+# mappings) and nothing may crash.
 set -eu
+
+if [ "${1:-}" = "--generated" ]; then
+  n=${2:?usage: check_no_crash.sh --generated N SEED}
+  seed=${3:?usage: check_no_crash.sh --generated N SEED}
+  exe=_build/default/bin/litmus_run.exe
+  if [ -x "$exe" ]; then
+    "$exe" --generate "$n" --seed "$seed"
+  else
+    dune exec bin/litmus_run.exe -- --generate "$n" --seed "$seed"
+  fi
+  echo "generated-corpus smoke OK (n=$n seed=$seed)"
+  exit 0
+fi
 
 root=${1:-.}
 status=0

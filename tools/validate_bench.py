@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_*.json artifacts and related outputs.
+
+One subcommand per artifact family; each loads the JSON, checks the
+common envelope (schema_version / section / git_rev) and enforces the
+section's acceptance gates.  CI calls these instead of inline heredocs
+so the gates are versioned, testable and shared between jobs.
+
+    validate_bench.py envelope FILE...          # envelope only
+    validate_bench.py refinement BENCH_refinement.json
+    validate_bench.py dispatch BENCH_dispatch.json
+    validate_bench.py obs BENCH_obs.json obs_trace.json
+    validate_bench.py witness REPORT_DIR
+    validate_bench.py chaos BENCH_chaos.json
+    validate_bench.py generator BENCH_generator.json
+
+Exit 0 when every gate holds, 1 with a diagnostic otherwise.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"validate_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def check_envelope(j, path, section=None, git_rev=True):
+    """Every artifact opens with the same self-describing fields.
+    Witness artifacts (one per counterexample, written by the report
+    renderer rather than the bench harness) carry no git_rev."""
+    if j.get("schema_version") != 1:
+        fail(f"{path}: schema_version {j.get('schema_version')!r} != 1")
+    if not isinstance(j.get("section"), str) or not j["section"]:
+        fail(f"{path}: missing/empty section")
+    if section is not None and j["section"] != section:
+        fail(f"{path}: section {j['section']!r}, expected {section!r}")
+    if git_rev and (not isinstance(j.get("git_rev"), str) or not j["git_rev"]):
+        fail(f"{path}: missing/empty git_rev")
+
+
+def cmd_envelope(paths):
+    if not paths:
+        fail("envelope: no files given")
+    for p in paths:
+        check_envelope(load(p), p)
+    print(f"envelope OK: {len(paths)} artifact(s)")
+
+
+def cmd_refinement(path):
+    j = load(path)
+    check_envelope(j, path, "refinement")
+    if not j["verdicts_identical"]:
+        fail(f"{path}: parallel verdicts diverge from sequential")
+    if j["speedup"] < 1.0:
+        fail(
+            f"{path}: planned sweep slower than per-task baseline "
+            f"(speedup {j['speedup']:.3f} < 1.0; "
+            f"sequential {j['sequential_s']:.3f}s, "
+            f"parallel {j['parallel_s']:.3f}s)"
+        )
+    if j["jobs"] < 2:
+        fail(f"{path}: bench ran with jobs={j['jobs']}, need >= 2")
+    chunks = j.get("chunks", [])
+    if not chunks:
+        fail(f"{path}: no per-chunk timings recorded")
+    covered = sum(c["len"] for c in chunks)
+    if covered != j["tasks"] and covered != j.get("cells", j["tasks"]):
+        # The planner groups cells by program, so chunk lengths cover
+        # the grouped job list, which is never larger than the tasks.
+        if covered > j["tasks"]:
+            fail(f"{path}: chunk lengths cover {covered} > {j['tasks']} tasks")
+    print(
+        f"refinement OK: speedup {j['speedup']:.2f}x over {j['tasks']} tasks "
+        f"({len(chunks)} chunk(s), {j['domains_used']} domain(s), "
+        f"{j['violations']} expected violations)"
+    )
+
+
+def cmd_dispatch(path):
+    j = load(path)
+    check_envelope(j, path, "dispatch")
+    if not j["results_identical"]:
+        fail(f"{path}: chained/unchained/interp guest results diverge")
+    ch = j["chained"]
+    if ch["superblocks"] == 0 or ch["chain_hits"] == 0:
+        fail(f"{path}: chaining/superblocks did not engage")
+    if ch["cycles"] >= j["unchained"]["cycles"]:
+        fail(f"{path}: chaining did not save guest cycles")
+    if ch["dispatches"] >= j["unchained"]["dispatches"]:
+        fail(f"{path}: chaining did not reduce dispatches")
+    if ch["chain_hit_rate"] < 0.95:
+        fail(
+            f"{path}: chain-hit rate {ch['chain_hit_rate']:.4f} "
+            f"dropped below 0.95"
+        )
+    print(
+        f"dispatch OK: {j['dispatch_reduction']:.1f}x fewer dispatches, "
+        f"chain-hit rate {ch['chain_hit_rate']:.1%}, parity holds"
+    )
+
+
+def cmd_obs(bench_path, trace_path):
+    j = load(bench_path)
+    check_envelope(j, bench_path, "obs")
+    if not j["parity"]:
+        fail(f"{bench_path}: observability changed guest results")
+    if j["disabled_overhead_pct"] > 5.0:
+        fail(
+            f"{bench_path}: disabled overhead "
+            f"{j['disabled_overhead_pct']}% > 5%"
+        )
+    trace = load(trace_path)
+    evs = trace.get("traceEvents", [])
+    if not evs:
+        fail(f"{trace_path}: empty trace")
+    for e in evs:
+        if not {"name", "cat", "ph", "ts", "pid", "tid"} <= set(e):
+            fail(f"{trace_path}: malformed event {e}")
+        if e["ph"] not in ("X", "i"):
+            fail(f"{trace_path}: unexpected phase in {e}")
+    cats = {e["cat"] for e in evs}
+    if "engine" not in cats or "opt" not in cats:
+        fail(f"{trace_path}: missing categories (have {sorted(cats)})")
+    print(
+        f"obs OK: {len(evs)} events, categories {sorted(cats)}, "
+        f"disabled overhead {j['disabled_overhead_pct']:.3f}%"
+    )
+
+
+def cmd_witness(report_dir):
+    files = sorted(glob.glob(os.path.join(report_dir, "witness-*.json")))
+    if not files:
+        fail(f"{report_dir}: no witness artifacts written")
+    seen = {}
+    for f in files:
+        j = load(f)
+        check_envelope(j, f, "witness", git_rev=False)
+        for k in ("scheme", "program", "behaviour", "target", "violations"):
+            if k not in j:
+                fail(f"{f}: missing key {k}")
+        if not j["target"]["events"]:
+            fail(f"{f}: empty target execution")
+        if not j["violations"]:
+            fail(f"{f}: no violated axiom")
+        for v in j["violations"]:
+            if not v["axiom"] or not v["cycle"]:
+                fail(f"{f}: malformed violation {v}")
+        seen.setdefault(j["program"], set()).add(j["scheme"])
+    # The paper's four §3 counterexamples must each have a witness.
+    for prog in ("MPQ", "SBQ", "SBAL", "FMR"):
+        if prog not in seen:
+            fail(f"no witness for {prog} (have {sorted(seen)})")
+    html_path = os.path.join(report_dir, "report.html")
+    try:
+        html = open(html_path).read()
+    except OSError as e:
+        fail(f"cannot read {html_path}: {e}")
+    if "<svg" not in html or "crimson" not in html:
+        fail(f"{html_path}: no highlighted witness graphs")
+    if "Axiom coverage" not in html or "Bench trajectory" not in html:
+        fail(f"{html_path}: missing coverage matrix or bench trajectory")
+    print(f"witness OK: {len(files)} witnesses over {sorted(seen)} programs")
+
+
+def cmd_chaos(path):
+    j = load(path)
+    check_envelope(j, path, "chaos")
+    if len(j["campaigns"]) < 3:
+        fail(f"{path}: need >= 3 seeded plans, have {len(j['campaigns'])}")
+    for c in j["campaigns"]:
+        if not c["converged"]:
+            fail(f"{path}: campaign diverged: {c}")
+    if not (j["watchdog"]["fired"] and j["watchdog"]["recovered"]):
+        fail(f"{path}: watchdog invariant failed: {j['watchdog']}")
+    if not all(j["cache"].values()):
+        fail(f"{path}: cache campaign failed: {j['cache']}")
+    print(
+        f"chaos OK: {len(j['campaigns'])} campaigns over {j['cells']} cells, "
+        f"{j['watchdog']['timeouts']} watchdog timeout(s)"
+    )
+
+
+def cmd_generator(path):
+    j = load(path)
+    check_envelope(j, path, "generator")
+    if not j["verdicts_identical"]:
+        fail(f"{path}: planned verdicts diverge from per-task")
+    if not j["all_ok"]:
+        fail(f"{path}: a generated scheme reported a violation")
+    if j["classes"] <= 0 or j["classes"] > j["programs"]:
+        fail(f"{path}: implausible class count {j['classes']}")
+    if not (0.0 <= j["dedup_ratio"] < 1.0):
+        fail(f"{path}: dedup_ratio {j['dedup_ratio']} out of range")
+    if j["speedup"] < 1.0:
+        fail(
+            f"{path}: planned generated sweep slower than per-task "
+            f"(speedup {j['speedup']:.3f} < 1.0)"
+        )
+    memo = j["memo"]
+    if memo["tasks"] != j["programs"] * j["schemes"]:
+        fail(
+            f"{path}: memo served {memo['tasks']} verdicts, expected "
+            f"{j['programs'] * j['schemes']}"
+        )
+    if memo["tasks_per_s"] <= 0:
+        fail(f"{path}: non-positive memo throughput")
+    print(
+        f"generator OK: {j['programs']} programs -> {j['classes']} classes "
+        f"(dedup {j['dedup_ratio']:.1%}), speedup {j['speedup']:.2f}x, "
+        f"memo {memo['tasks_per_s']:.0f} tasks/s"
+    )
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cmd, args = argv[1], argv[2:]
+    if cmd == "envelope":
+        cmd_envelope(args)
+    elif cmd == "refinement" and len(args) == 1:
+        cmd_refinement(args[0])
+    elif cmd == "dispatch" and len(args) == 1:
+        cmd_dispatch(args[0])
+    elif cmd == "obs" and len(args) == 2:
+        cmd_obs(args[0], args[1])
+    elif cmd == "witness" and len(args) == 1:
+        cmd_witness(args[0])
+    elif cmd == "chaos" and len(args) == 1:
+        cmd_chaos(args[0])
+    elif cmd == "generator" and len(args) == 1:
+        cmd_generator(args[0])
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

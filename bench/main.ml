@@ -1171,6 +1171,256 @@ let chaos_bench ~plans ~seed ~out () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Tier bench: tier0-only vs sync-all vs tiered-async → BENCH_tiers.json *)
+
+(* One pass over the PARSEC/Phoenix kernels under a tier configuration.
+   [drain_installs] after each kernel settles any background compiles
+   before the stats are read (and quiesces the shared service so the
+   next kernel starts clean). *)
+let tiers_pass config =
+  List.map
+    (fun b ->
+      let spec = b.Harness.Parsec.spec in
+      let g, eng = Harness.Kernel.run_dbt config spec in
+      Core.Engine.drain_installs eng;
+      ( spec.Harness.Kernel.name,
+        Array.sub g.Core.Engine.arm.Arm.Machine.regs 0 16,
+        Memsys.Mem.dump (Core.Engine.memory eng),
+        Core.Engine.cycles g,
+        Core.Engine.stats eng ))
+    Harness.Parsec.all
+
+(* Cold-start image: a long straight-line program the frontend splits
+   into ~[n] distinct blocks, each executed exactly once — the
+   translation-dominated regime the tier ladder is built for.  A
+   synchronous engine backend-compiles every block before its first
+   execution; a tiered engine never crosses the threshold and reaches
+   Hlt on the interpreter alone. *)
+let cold_start_items n =
+  let open X86.Asm in
+  let module I = X86.Insn in
+  let module R = X86.Reg in
+  let body =
+    List.concat_map
+      (fun k ->
+        let m =
+          {
+            I.base = None;
+            index = None;
+            disp = Int64.of_int (0x5000 + (8 * (k mod 16)));
+          }
+        in
+        [
+          Ins (I.Store (m, I.R R.RAX));
+          Ins (I.Load (R.RBX, m));
+          Ins (I.Alu (I.Add, R.RAX, I.R R.RBX));
+          Ins (I.Alu (I.Xor, R.RCX, I.R R.RAX));
+        ])
+      (List.init (n * 8) Fun.id)
+  in
+  (Label "main" :: body) @ [ Ins I.Hlt ]
+
+let tiers_bench ~reps ~out () =
+  section
+    (Printf.sprintf
+       "Tier ladder: tier0-only vs sync-all vs tiered-async (%d kernels, \
+        best of %d)"
+       (List.length Harness.Parsec.all)
+       reps);
+  let risotto = Core.Config.risotto in
+  let jit_threshold = 8 and tier2_threshold = 24 in
+  (* tier0: the threshold is unreachable, every block stays on the
+     interpreter.  sync-all: the pre-ladder configuration (immediate
+     backend compile, static trace trigger — the dispatch-bench
+     chained config).  tiered: the full ladder with background
+     installs. *)
+  let tier0 =
+    { risotto with Core.Config.jit_threshold = max_int; trace_threshold = 0 }
+  in
+  let sync_all = { risotto with Core.Config.trace_threshold = 16 } in
+  let tiered =
+    {
+      risotto with
+      Core.Config.jit_threshold;
+      trace_threshold = tier2_threshold;
+      sync_compile = false;
+    }
+  in
+  let time config =
+    let best = ref infinity in
+    let results = ref [] in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = tiers_pass config in
+      let dt = Unix.gettimeofday () -. t0 in
+      results := r;
+      if dt < !best then best := dt
+    done;
+    (!best, !results)
+  in
+  let tier0_s, tier0_r = time tier0 in
+  let sync_s, sync_r = time sync_all in
+  let tiered_s, tiered_r = time tiered in
+  let sum f results =
+    List.fold_left (fun acc (_, _, _, _, s) -> acc + f s) 0 results
+  in
+  let cycles results =
+    List.fold_left (fun acc (_, _, _, c, _) -> acc + c) 0 results
+  in
+  (* tier0 runs with no superblocks: one dispatch per guest block, so
+     its dispatch count is the true guest-block total all three
+     configurations execute (parity is asserted below). *)
+  let guest_blocks = sum (fun s -> s.Core.Engine.blocks_executed) tier0_r in
+  let cpb c =
+    if guest_blocks = 0 then 0.0
+    else float_of_int c /. float_of_int guest_blocks
+  in
+  let stat_block results =
+    ( cycles results,
+      sum (fun s -> s.Core.Engine.interp_execs) results,
+      sum (fun s -> s.Core.Engine.tier1_installed) results,
+      sum (fun s -> s.Core.Engine.superblocks) results,
+      sum (fun s -> s.Core.Engine.deopts) results,
+      sum (fun s -> s.Core.Engine.install_hwm) results,
+      sum (fun s -> s.Core.Engine.installs_dropped) results )
+  in
+  let t0_cycles, t0_interp, t0_inst, t0_super, t0_deopt, t0_hwm, t0_drop =
+    stat_block tier0_r
+  in
+  let sy_cycles, sy_interp, sy_inst, sy_super, sy_deopt, sy_hwm, sy_drop =
+    stat_block sync_r
+  in
+  let ti_cycles, ti_interp, ti_inst, ti_super, ti_deopt, ti_hwm, ti_drop =
+    stat_block tiered_r
+  in
+  let parity =
+    List.for_all2
+      (fun (n1, r1, m1, _, _) (n2, r2, m2, _, _) ->
+        n1 = n2 && r1 = r2 && m1 = m2)
+      tier0_r sync_r
+    && List.for_all2
+         (fun (n1, r1, m1, _, _) (n2, r2, m2, _, _) ->
+           n1 = n2 && r1 = r2 && m1 = m2)
+         sync_r tiered_r
+  in
+  (* Cold start: time-to-first-N-blocks on a translation-dominated
+     straight-line image, fresh engine per run.  One untimed warmup
+     per config absorbs one-off process state (the shared background
+     service domain, lazy metrics). *)
+  let cold_blocks = 96 in
+  let cold_image = Image.Gelf.build ~entry:"main" (cold_start_items cold_blocks) in
+  let cold_run config =
+    let eng = Core.Engine.create config cold_image in
+    let g = Core.Engine.run eng in
+    Core.Engine.drain_installs eng;
+    if Core.Engine.trap g <> None then begin
+      Format.eprintf "tiers bench: cold-start run trapped!@.";
+      exit 2
+    end
+  in
+  let cold_time config =
+    cold_run config;
+    let best = ref infinity in
+    for _ = 1 to max 3 reps do
+      let t0 = Unix.gettimeofday () in
+      cold_run config;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let cold_sync_s = cold_time sync_all in
+  let cold_tiered_s = cold_time tiered in
+  Format.printf
+    "  wall: tier0 %.3fs, sync-all %.3fs, tiered %.3fs@.  guest cycles over \
+     %d guest blocks: tier0 %d (interp charges none), sync-all %d (%.2f/blk), \
+     tiered %d (%.2f/blk)@.  tiered ladder: %d interp execs, %d installs, %d \
+     superblocks, %d deopts, queue hwm %d, dropped %d@.  cold start (%d \
+     blocks, once each): sync %.6fs, tiered %.6fs (%.2fx)@.  results \
+     identical: %b@."
+    tier0_s sync_s tiered_s guest_blocks t0_cycles sy_cycles (cpb sy_cycles)
+    ti_cycles (cpb ti_cycles) ti_interp ti_inst ti_super ti_deopt ti_hwm
+    ti_drop cold_blocks cold_sync_s cold_tiered_s
+    (cold_sync_s /. cold_tiered_s)
+    parity;
+  let pp_config oc name wall (cycles, interp, inst, super, deopt, hwm, drop) =
+    Printf.fprintf oc
+      {|  %S: {
+    "wall_s": %.6f,
+    "cycles": %d,
+    "cycles_per_block": %.3f,
+    "interp_execs": %d,
+    "tier1_installed": %d,
+    "superblocks": %d,
+    "deopts": %d,
+    "install_hwm": %d,
+    "installs_dropped": %d
+  },
+|}
+      name wall cycles (cpb cycles) interp inst super deopt hwm drop
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  %s
+  "bench": "tiers: tier0-only vs sync-all vs tiered-async",
+  "kernels": %d,
+  "reps": %d,
+  "jit_threshold": %d,
+  "tier2_threshold": %d,
+  "guest_blocks": %d,
+|}
+    (envelope "tiers")
+    (List.length Harness.Parsec.all)
+    reps jit_threshold tier2_threshold guest_blocks;
+  pp_config oc "tier0" tier0_s
+    (t0_cycles, t0_interp, t0_inst, t0_super, t0_deopt, t0_hwm, t0_drop);
+  pp_config oc "sync_all" sync_s
+    (sy_cycles, sy_interp, sy_inst, sy_super, sy_deopt, sy_hwm, sy_drop);
+  pp_config oc "tiered" tiered_s
+    (ti_cycles, ti_interp, ti_inst, ti_super, ti_deopt, ti_hwm, ti_drop);
+  Printf.fprintf oc
+    {|  "cold": {
+    "blocks": %d,
+    "sync_s": %.6f,
+    "tiered_s": %.6f,
+    "speedup": %.4f
+  },
+  "results_identical": %b
+}
+|}
+    cold_blocks cold_sync_s cold_tiered_s
+    (cold_sync_s /. cold_tiered_s)
+    parity;
+  close_out oc;
+  Format.printf "  wrote %s@." out;
+  if not parity then begin
+    Format.eprintf "tiers bench: tier ladder results diverge!@.";
+    exit 2
+  end;
+  if ti_interp = 0 || ti_inst = 0 || ti_super = 0 then begin
+    Format.eprintf
+      "tiers bench: the ladder did not engage (%d interp, %d installs, %d \
+       superblocks)!@."
+      ti_interp ti_inst ti_super;
+    exit 2
+  end;
+  if cpb ti_cycles > cpb sy_cycles then begin
+    Format.eprintf
+      "tiers bench: tiered execution cost more guest cycles than sync-all \
+       (%.3f vs %.3f cycles/block)!@."
+      (cpb ti_cycles) (cpb sy_cycles);
+    exit 2
+  end;
+  if cold_tiered_s >= cold_sync_s then begin
+    Format.eprintf
+      "tiers bench: tiered cold start not faster than synchronous \
+       translation (%.6fs vs %.6fs)!@."
+      cold_tiered_s cold_sync_s;
+    exit 2
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Section dispatch                                                    *)
 
 type opts = {
@@ -1186,6 +1436,7 @@ type opts = {
   seed : int;
   gen_out : string;
   gen_n : int;
+  tiers_out : string;
 }
 
 let canonical = function
@@ -1200,19 +1451,21 @@ let canonical = function
   | "obs" | "observability" -> Some "obs"
   | "chaos" | "resilience" -> Some "chaos"
   | "generator" | "generate" -> Some "generator"
+  | "tiers" | "tier" -> Some "tiers"
   | _ -> None
 
 let all_sections =
   [ "tables"; "sec3"; "minimality"; "figures"; "ablations"; "bechamel";
-    "refinement"; "dispatch"; "obs"; "chaos"; "generator" ]
+    "refinement"; "dispatch"; "obs"; "chaos"; "generator"; "tiers" ]
 
 let usage () =
   Format.eprintf
     "usage: main.exe [SECTION...] [-j N] [--reps N] [-o FILE] \
      [--dispatch-out FILE] [--obs-out FILE] [--trace-out FILE] \
      [--chaos-out FILE] [--plans N] [--seed N] [--gen-out FILE] [--gen-n N] \
-     [--no-bechamel]@.sections: fig2 fig3 fig7 sec3 fig8 fig9 fig12..fig15 \
-     ablations bechamel refinement dispatch obs chaos generator@.";
+     [--tiers-out FILE] [--no-bechamel]@.sections: fig2 fig3 fig7 sec3 fig8 \
+     fig9 fig12..fig15 ablations bechamel refinement dispatch obs chaos \
+     generator tiers@.";
   exit 1
 
 let parse_args () =
@@ -1229,6 +1482,7 @@ let parse_args () =
   let seed = ref 42 in
   let gen_out = ref "BENCH_generator.json" in
   let gen_n = ref 1000 in
+  let tiers_out = ref "BENCH_tiers.json" in
   let rec go = function
     | [] -> ()
     | "--no-bechamel" :: rest ->
@@ -1261,6 +1515,9 @@ let parse_args () =
         go rest
     | "--gen-out" :: path :: rest ->
         gen_out := path;
+        go rest
+    | "--tiers-out" :: path :: rest ->
+        tiers_out := path;
         go rest
     | "--gen-n" :: n :: rest ->
         (match int_of_string_opt n with
@@ -1306,6 +1563,7 @@ let parse_args () =
     seed = !seed;
     gen_out = !gen_out;
     gen_n = !gen_n;
+    tiers_out = !tiers_out;
   }
 
 let () =
@@ -1322,6 +1580,7 @@ let () =
     seed;
     gen_out;
     gen_n;
+    tiers_out;
   } =
     parse_args ()
   in
@@ -1340,6 +1599,7 @@ let () =
       | "obs" -> obs_bench ~reps ~out:obs_out ~trace_out ()
       | "chaos" -> chaos_bench ~plans ~seed ~out:chaos_out ()
       | "generator" -> generator_bench ~jobs ~reps ~gen_n ~seed ~out:gen_out ()
+      | "tiers" -> tiers_bench ~reps ~out:tiers_out ()
       | _ -> assert false)
     sections;
   (match pool with Some p -> Parallel.Pool.shutdown p | None -> ());

@@ -62,7 +62,7 @@ let dis path =
   0
 
 let run path config_name trace_out debug metrics inject no_chain
-    trace_threshold report =
+    trace_threshold tier2_threshold jit_threshold sync_compile report =
   if debug then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.Src.set_level Core.Engine.log_src (Some Logs.Debug)
@@ -86,12 +86,24 @@ let run path config_name trace_out debug metrics inject no_chain
               config with
               Core.Config.inject = plan;
               chain = config.Core.Config.chain && not no_chain;
-              trace_threshold;
+              (* --tier2-threshold is the tier-ladder name for the
+                 superblock knob; --trace-threshold is kept as the
+                 pre-tiered spelling. *)
+              trace_threshold = max trace_threshold tier2_threshold;
+              jit_threshold;
+              (* Tiered runs from the CLI compile in the background by
+                 default; --sync-compile is the determinism escape
+                 hatch (and jit_threshold = 0 is synchronous anyway). *)
+              sync_compile = sync_compile || jit_threshold = 0;
             }
           in
           let image = Image.Gelf.load path in
           let eng = Core.Engine.create config image in
           let g = Core.Engine.run eng in
+          (* Settle the async tier before reporting: any compile still
+             in flight is published (or dropped), so the tier counters
+             below describe the whole run. *)
+          Core.Engine.drain_installs eng;
           let arm = g.Core.Engine.arm in
           if Buffer.length arm.Arm.Machine.output > 0 then
             print_string (Buffer.contents arm.Arm.Machine.output);
@@ -118,7 +130,7 @@ let run path config_name trace_out debug metrics inject no_chain
             (match Core.Engine.hot_blocks eng with
             | [] -> ()
             | hot ->
-                Format.printf "hot blocks (by attributed cycles):@.";
+                Format.printf "hot blocks (by observed-path heat):@.";
                 List.iter
                   (fun e -> Format.printf "  %a@." Obs.Profile.pp_entry e)
                   hot)
@@ -286,6 +298,38 @@ let trace_threshold_arg =
            former block boundaries.  0 (default) disables superblock \
            formation.")
 
+let tier2_threshold_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "tier2-threshold" ] ~docv:"N"
+        ~doc:
+          "Tier-ladder alias for $(b,--trace-threshold): promote a hot \
+           block to a superblock once it has executed $(docv) times and \
+           its branch-outcome profile shows a dominant successor path.  \
+           When both flags are given the larger value wins.")
+
+let jit_threshold_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jit-threshold" ] ~docv:"N"
+        ~doc:
+          "Tiered JIT: start every block on the TCG interpreter (tier \
+           0) and request its backend compile only after $(docv) \
+           executions.  0 (default) compiles every block synchronously \
+           at first translation, the pre-tiered behaviour.  Compiles \
+           run on a background translation domain unless \
+           $(b,--sync-compile) is given.")
+
+let sync_compile_arg =
+  Arg.(
+    value & flag
+    & info [ "sync-compile" ]
+        ~doc:
+          "With $(b,--jit-threshold), run tier-1 compiles inline on the \
+           execution thread instead of the background translation \
+           domain — fully deterministic scheduling at the cost of \
+           translation latency back on the critical path.")
+
 let report_arg =
   Arg.(
     value
@@ -302,6 +346,7 @@ let run_cmd =
     Term.(
       const run $ path_arg $ config_arg $ trace_arg $ debug_arg
       $ metrics_arg $ inject_arg $ no_chain_arg $ trace_threshold_arg
+      $ tier2_threshold_arg $ jit_threshold_arg $ sync_compile_arg
       $ report_arg)
 
 let () =

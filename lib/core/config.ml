@@ -10,6 +10,8 @@ type t = {
   inject : Inject.plan;
   chain : bool;
   trace_threshold : int;
+  jit_threshold : int;
+  sync_compile : bool;
 }
 
 let qemu =
@@ -22,6 +24,8 @@ let qemu =
     inject = [];
     chain = true;
     trace_threshold = 0;
+    jit_threshold = 0;
+    sync_compile = true;
   }
 
 let no_fences = { qemu with name = "no-fences"; fences = No_fences }

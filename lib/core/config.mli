@@ -29,12 +29,26 @@ type t = {
           cycles are unchanged; [false] gives the unchained dispatch
           baseline.  On in all presets. *)
   trace_threshold : int;
-      (** hot-trace superblocks: once a block has executed this many
-          times, stitch its hottest chain of blocks into one superblock
-          and re-run the optimizer pipeline across the former block
-          boundaries.  [0] (the default in all presets) disables
-          superblock formation; requires [chain] since traces are
-          discovered through patched-edge hit counts. *)
+      (** tier-2 threshold: once a block has executed this many times
+          and its {!Tier} profile shows a dominant observed successor,
+          stitch the dominant path into one superblock and re-run the
+          optimizer pipeline across the former block boundaries.  [0]
+          (the default in all presets) disables superblock formation;
+          requires [chain]. *)
+  jit_threshold : int;
+      (** tier-0/1 boundary: with [0] (the default in all presets)
+          every block is backend-compiled synchronously at first
+          translation, exactly the pre-tiered behaviour.  With [n > 0],
+          fresh blocks run on the TCG interpreter and a backend compile
+          is requested only once the block's execution count reaches
+          [n]. *)
+  sync_compile : bool;
+      (** [true] (the default in all presets): compile requests run
+          inline on the execution thread — fully deterministic.
+          [false]: requests go to the background install service
+          ({!Parallel.Pool.service}) and the thread keeps interpreting
+          until the compiled TB is published.  Only meaningful when
+          [jit_threshold > 0]. *)
 }
 
 (** Vanilla Qemu 6.1.0. *)

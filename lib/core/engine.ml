@@ -35,11 +35,35 @@ type stats = {
   mutable cache_quarantined : int;
       (** persistent-cache entries that failed their checksum and were
           dropped (the block retranslates on demand) *)
+  mutable interp_execs : int;
+      (** dispatches served by the TCG interpreter (tier 0 + degraded
+          blocks) *)
+  mutable tier1_installed : int;
+      (** compile requests whose native TB was published (tier 1) *)
+  mutable deopts : int;
+      (** superblocks demoted back to tier-1 TBs on side-exit-rate
+          regression *)
+  mutable installs_dropped : int;
+      (** compile results discarded by the generation check (reset /
+          cache reload raced an in-flight install) *)
+  mutable install_hwm : int;
+      (** install-queue depth high-water mark *)
 }
 
 (* How the block at a pc executes: natively, or on the TCG interpreter
-   because the backend could not compile it. *)
+   because the backend could not compile it (or has not yet — tier 0). *)
 type compiled = Native of Arm.Insn.t array | Interp_only of Tcg.Block.t
+
+(* A finished compile request travelling back from the background
+   domain to the execution thread.  [i_gen] is the chain generation the
+   request was made under: a reset or cache reload in between bumps the
+   generation and the install is dropped, the same invalidation
+   discipline Tbchain applies to patched edges and jump caches. *)
+type install = {
+  i_pc : int64;
+  i_gen : int;
+  i_result : (Arm.Insn.t array, Fault.t) result;
+}
 
 type t = {
   config : Config.t;
@@ -57,6 +81,15 @@ type t = {
   stats : stats;
   pending_spawns : (int * int64 * int64) Queue.t;  (* tid, entry, arg *)
   next_tid : int ref;
+  install_service : Parallel.Pool.service option;
+      (* background compile domains; None when this engine compiles
+         synchronously *)
+  completions : install Queue.t;  (* guarded by [completions_m] *)
+  completions_m : Mutex.t;
+  completions_n : int Atomic.t;
+      (* pushed count minus applied count; the dispatch loop's one-load
+         "anything to publish?" probe.  Incremented after the push, so
+         a positive value guarantees a non-empty queue. *)
 }
 
 type guest_thread = {
@@ -70,7 +103,16 @@ type guest_thread = {
   mutable next_gen : int;  (* chain-table generation [next_tb] is valid for *)
 }
 
-let create ?cost ?idl config image =
+(* One process-wide background translation service, spawned lazily by
+   the first async-tiered engine and shared by all of them: OCaml
+   domains are a bounded resource (and every live domain joins each
+   stop-the-world minor collection), so engines must not spawn one
+   each.  Each compile job publishes into its own engine's completion
+   queue, so sharing the workers shares nothing else. *)
+let default_install_service =
+  lazy (Parallel.Pool.service_create ~workers:1 ())
+
+let create ?cost ?idl ?install_service config image =
   (* Default IDL: everything the host library provides (when the linker
      is enabled).  Pass [~idl:[]] explicitly to link nothing. *)
   let idl =
@@ -94,6 +136,16 @@ let create ?cost ?idl config image =
       Queue.push (tid, entry, arg) pending_spawns;
       Int64.of_int tid)
     ~inject shared;
+  let install_service =
+    (* Resolve (and lazily spawn) workers only when this config can
+       actually submit: sync engines must stay domain-free. *)
+    if config.Config.sync_compile || config.Config.jit_threshold = 0 then None
+    else
+      Some
+        (match install_service with
+        | Some s -> s
+        | None -> Lazy.force default_install_service)
+  in
   let t = {
     config;
     image;
@@ -122,9 +174,18 @@ let create ?cost ?idl config image =
         interp_fallbacks = 0;
         traps = 0;
         cache_quarantined = 0;
+        interp_execs = 0;
+        tier1_installed = 0;
+        deopts = 0;
+        installs_dropped = 0;
+        install_hwm = 0;
       };
     pending_spawns;
     next_tid;
+    install_service;
+    completions = Queue.create ();
+    completions_m = Mutex.create ();
+    completions_n = Atomic.make 0;
   }
   in
   t
@@ -138,8 +199,27 @@ let chain_generation t = Tbchain.generation t.tbs
 let chained_edges t = Tbchain.edge_count t.tbs
 let stack_top tid = Int64.sub 0x8000_0000L (Int64.of_int (tid * 0x10000))
 
+(* Drop every completion still queued (without waiting for in-flight
+   background jobs: their results arrive stamped with the pre-bump
+   generation and die at the apply-side check). *)
+let discard_pending_installs t =
+  Mutex.lock t.completions_m;
+  let dropped = Queue.length t.completions in
+  Queue.clear t.completions;
+  Mutex.unlock t.completions_m;
+  if dropped > 0 then begin
+    ignore (Atomic.fetch_and_add t.completions_n (-dropped));
+    t.stats.installs_dropped <- t.stats.installs_dropped + dropped;
+    Obs.Metrics.add (Lazy.force Tier.m_installs_dropped) dropped
+  end
+
 let reset t =
   Obs.Trace.instant ~cat:"engine" "reset";
+  (* Order matters: discard queued installs first, then bump the
+     generation via flush, so anything a background domain publishes
+     after this point is stale by construction.  Per-block tier
+     profiles die with their nodes. *)
+  discard_pending_installs t;
   Tbchain.flush t.tbs;
   Hashtbl.reset t.tcg_cache
 
@@ -164,43 +244,170 @@ let translate t pc =
   t.stats.tcg_ops_after_opt <-
     t.stats.tcg_ops_after_opt + Tcg.Block.op_count optimized;
   Hashtbl.replace t.tcg_cache pc optimized;
-  let compiled =
-    if Inject.fire t.inject Inject.Compile then
-      Error (Fault.make ~pc Fault.Backend_fault "injected compile fault")
-    else
-      match
-        Obs.Trace.with_span ~cat:"engine" "backend" (fun () ->
-            Obs.Profile.time (Lazy.force m_compile_ns) (fun () ->
-                Backend.compile t.config optimized))
-      with
-      | code -> Ok code
-      | exception Fault.Fault f -> Error (Fault.locate ~pc f)
-      | exception Backend.Register_pressure p ->
-          Error
-            (Fault.make ~pc Fault.Backend_fault
-               (Printf.sprintf "register pressure in block 0x%Lx" p))
+  if t.config.Config.jit_threshold > 0 then
+    (* Tier 0: the block starts life on the TCG interpreter (state
+       [Cold], fresh profile) and the backend compile is deferred until
+       its execution count crosses the threshold. *)
+    Tbchain.insert t.tbs pc (Interp_only optimized)
+  else begin
+    let compiled =
+      if Inject.fire t.inject Inject.Compile then
+        Error (Fault.make ~pc Fault.Backend_fault "injected compile fault")
+      else
+        match
+          Obs.Trace.with_span ~cat:"engine" "backend" (fun () ->
+              Obs.Profile.time (Lazy.force m_compile_ns) (fun () ->
+                  Backend.compile t.config optimized))
+        with
+        | code -> Ok code
+        | exception Fault.Fault f -> Error (Fault.locate ~pc f)
+        | exception Backend.Register_pressure p ->
+            Error
+              (Fault.make ~pc Fault.Backend_fault
+                 (Printf.sprintf "register pressure in block 0x%Lx" p))
+    in
+    let body =
+      match compiled with
+      | Ok code ->
+          t.stats.fences_emitted <-
+            t.stats.fences_emitted
+            + Array.fold_left
+                (fun n i -> match i with Arm.Insn.Dmb _ -> n + 1 | _ -> n)
+                0 code;
+          Native code
+      | Error f ->
+          (* Degraded mode: the block stays on the TCG interpreter.  The
+             run keeps its semantics (the interpreter and backend agree by
+             construction), only this block's speed is lost. *)
+          Log.warn (fun m ->
+              m "tb@0x%Lx: backend failed (%s); falling back to interpreter" pc
+                (Fault.to_string f));
+          t.stats.interp_fallbacks <- t.stats.interp_fallbacks + 1;
+          Obs.Metrics.incr (Lazy.force m_fallbacks);
+          Interp_only optimized
+    in
+    let n = Tbchain.insert t.tbs pc body in
+    n.Tbchain.tier.Tier.state <-
+      (match body with
+      | Native _ -> Tier.Published
+      | Interp_only _ -> Tier.Degraded);
+    n
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tier 1: the async install queue.  The execution thread enqueues
+   compile jobs (capturing the immutable optimized TCG block, the
+   config, and the chain generation at request time); a background
+   service domain runs the pure [Backend.compile] and pushes the result
+   into [completions]; the execution thread publishes it into the chain
+   table between dispatches.  The background domain never touches the
+   engine's tables — publication is single-writer, and the
+   mutex-protected queue plus the post-push atomic increment are the
+   release/acquire pair that makes the compiled code array safely
+   visible (see DESIGN.md, "tier ladder"). *)
+
+let apply_install t inst =
+  let stale () =
+    t.stats.installs_dropped <- t.stats.installs_dropped + 1;
+    Obs.Metrics.incr (Lazy.force Tier.m_installs_dropped)
   in
-  let body =
-    match compiled with
-    | Ok code ->
-        t.stats.fences_emitted <-
-          t.stats.fences_emitted
-          + Array.fold_left
-              (fun n i -> match i with Arm.Insn.Dmb _ -> n + 1 | _ -> n)
-              0 code;
-        Native code
-    | Error f ->
-        (* Degraded mode: the block stays on the TCG interpreter.  The
-           run keeps its semantics (the interpreter and backend agree by
-           construction), only this block's speed is lost. *)
-        Log.warn (fun m ->
-            m "tb@0x%Lx: backend failed (%s); falling back to interpreter" pc
-              (Fault.to_string f));
-        t.stats.interp_fallbacks <- t.stats.interp_fallbacks + 1;
-        Obs.Metrics.incr (Lazy.force m_fallbacks);
-        Interp_only optimized
-  in
-  Tbchain.insert t.tbs pc body
+  if inst.i_gen <> Tbchain.generation t.tbs then stale ()
+  else
+    match Tbchain.find t.tbs inst.i_pc with
+    | Some node when node.Tbchain.tier.Tier.state = Tier.Queued -> (
+        match inst.i_result with
+        | Ok code ->
+            node.Tbchain.body <- Native code;
+            (* A superblock can only exist over a Native body, so with
+               state Queued the active translation is the body. *)
+            node.Tbchain.active <- node.Tbchain.body;
+            node.Tbchain.tier.Tier.state <- Tier.Published;
+            t.stats.fences_emitted <-
+              t.stats.fences_emitted
+              + Array.fold_left
+                  (fun n i -> match i with Arm.Insn.Dmb _ -> n + 1 | _ -> n)
+                  0 code;
+            t.stats.tier1_installed <- t.stats.tier1_installed + 1;
+            Obs.Metrics.incr (Lazy.force Tier.m_installs);
+            Log.debug (fun m ->
+                m "tb@0x%Lx: tier-1 TB published (%d host insns)" inst.i_pc
+                  (Array.length code))
+        | Error f ->
+            node.Tbchain.tier.Tier.state <- Tier.Degraded;
+            t.stats.interp_fallbacks <- t.stats.interp_fallbacks + 1;
+            Obs.Metrics.incr (Lazy.force m_fallbacks);
+            Obs.Metrics.incr (Lazy.force Tier.m_install_failures);
+            Log.warn (fun m ->
+                m "tb@0x%Lx: background compile failed (%s); staying on \
+                   interpreter"
+                  inst.i_pc (Fault.to_string f)))
+    | Some _ | None ->
+        (* Same generation but the node was dropped or re-seeded
+           (e.g. a cache reload re-inserted it): the request no longer
+           describes the block. *)
+        stale ()
+
+let apply_completions t =
+  if Atomic.get t.completions_n > 0 then begin
+    Mutex.lock t.completions_m;
+    let k = Queue.length t.completions in
+    let items = List.init k (fun _ -> Queue.pop t.completions) in
+    Mutex.unlock t.completions_m;
+    ignore (Atomic.fetch_and_add t.completions_n (-k));
+    if k > t.stats.install_hwm then t.stats.install_hwm <- k;
+    List.iter (apply_install t) items
+  end
+
+let request_compile t node =
+  match node.Tbchain.body with
+  | Native _ -> ()
+  | Interp_only tcg ->
+      let p = node.Tbchain.tier in
+      p.Tier.state <- Tier.Queued;
+      Obs.Metrics.incr (Lazy.force Tier.m_requests);
+      let pc = node.Tbchain.pc in
+      let gen = Tbchain.generation t.tbs in
+      (* Fault injection is stateful: fire on the execution thread at
+         enqueue time, so a plan's Nth/Seeded counters stay
+         deterministic however the background domain schedules. *)
+      let injected = Inject.fire t.inject Inject.Compile in
+      let config = t.config in
+      let job () =
+        let result =
+          if injected then
+            Error (Fault.make ~pc Fault.Backend_fault "injected compile fault")
+          else
+            match Backend.compile config tcg with
+            | code -> Ok code
+            | exception Fault.Fault f -> Error (Fault.locate ~pc f)
+            | exception Backend.Register_pressure p' ->
+                Error
+                  (Fault.make ~pc Fault.Backend_fault
+                     (Printf.sprintf "register pressure in block 0x%Lx" p'))
+        in
+        Mutex.lock t.completions_m;
+        Queue.push { i_pc = pc; i_gen = gen; i_result = result } t.completions;
+        Mutex.unlock t.completions_m;
+        Atomic.incr t.completions_n
+      in
+      (match t.install_service with
+      | Some svc when not t.config.Config.sync_compile ->
+          Parallel.Pool.service_submit svc job;
+          let depth = Parallel.Pool.service_pending svc in
+          if depth > t.stats.install_hwm then t.stats.install_hwm <- depth
+      | Some _ | None ->
+          (* The determinism escape hatch ([sync_compile]): same
+             request/publish path, run to completion inline. *)
+          job ();
+          apply_completions t)
+
+(* Wait for every in-flight background compile, then publish (or drop)
+   the results.  No-op for synchronous engines. *)
+let drain_installs t =
+  (match t.install_service with
+  | Some svc -> Parallel.Pool.service_drain svc
+  | None -> ());
+  apply_completions t
 
 let fetch t pc =
   t.stats.lookups <- t.stats.lookups + 1;
@@ -334,6 +541,10 @@ let exec t g = function
    avoided for, with [chain_hits]/[jmp_cache_hits] recording which fast
    path served them. *)
 let dispatch t g =
+  (* Publish any finished background compiles first: one atomic load on
+     the fast path, and the thread that requested a block is usually
+     the next one to run it. *)
+  if Atomic.get t.completions_n > 0 then apply_completions t;
   t.stats.lookups <- t.stats.lookups + 1;
   let gen = Tbchain.generation t.tbs in
   match g.next_tb with
@@ -361,35 +572,68 @@ let dispatch t g =
               n))
 
 (* ------------------------------------------------------------------ *)
-(* Hot-trace superblocks: once a block head crosses the hotness
-   threshold, stitch its hottest chain of blocks into one TCG block,
-   re-run the configured optimizer pipeline so Fenceopt/Memopt/Dce see
-   across the former block boundaries, and compile the result.  Side
-   exits (untaken branch arms, back edges, computed jumps) fall back to
-   the original blocks, so installation can never change results —
-   only which code services the hot path. *)
+(* Tier 2 — hot-trace superblocks: once a block head crosses the
+   hotness threshold *and* its profile shows a dominant observed
+   successor path, stitch that path into one TCG block, re-run the
+   configured optimizer pipeline so Fenceopt/Memopt/Dce see across the
+   former block boundaries, and compile the result.  Side exits
+   (untaken branch arms, back edges, computed jumps) fall back to the
+   original blocks, so installation can never change results — only
+   which code services the hot path.  A superblock whose side-exit rate
+   regresses is deoptimized back to its tier-1 TB. *)
 
 let trace_limit = 8
 
+(* The hot path out of [head], following each block's dominant observed
+   static successor (the only seams [Tcg.Block.concat] can stitch —
+   computed jumps never qualify because they dilute dominance through
+   the profile's [other] bucket).  Revisits are allowed, so a self-loop
+   unrolls.  This replaces [Tbchain.hottest_path]'s static hottest-edge
+   walk: edges only exist where chaining happened to patch them,
+   whereas the profile sees every observed exit. *)
+let profile_path t head ~limit =
+  let rec go acc n k =
+    if k = 0 then List.rev acc
+    else
+      match Tier.dominant n.Tbchain.tier with
+      | None -> List.rev acc
+      | Some (pc, _) -> (
+          match Tbchain.find t.tbs pc with
+          | None -> List.rev acc
+          | Some next -> go (next :: acc) next (k - 1))
+  in
+  go [ head ] head (limit - 1)
+
+(* [`Not_ready] is retryable (a member of the path is still cold or
+   untranslated — common under async tier 1); [`Failed] latches
+   [no_super]. *)
 let form_superblock t head =
-  let path = Tbchain.hottest_path head ~limit:trace_limit in
+  let path = profile_path t head ~limit:trace_limit in
   let tcg_of n =
     match n.Tbchain.body with
-    | Interp_only _ -> None (* degraded blocks have no native seam *)
-    | Native _ -> Hashtbl.find_opt t.tcg_cache n.Tbchain.pc
+    | Native _ -> (
+        match Hashtbl.find_opt t.tcg_cache n.Tbchain.pc with
+        | Some b -> `Tcg b
+        | None -> `Failed (* loaded from cache: no TCG to stitch *))
+    | Interp_only _ ->
+        if n.Tbchain.tier.Tier.state = Tier.Degraded then `Failed
+        else `Not_ready
   in
   let rec collect = function
-    | [] -> Some []
+    | [] -> `Blocks []
     | n :: rest -> (
-        match (tcg_of n, collect rest) with
-        | Some b, Some bs -> Some (b :: bs)
-        | _ -> None)
+        match tcg_of n with
+        | (`Failed | `Not_ready) as x -> x
+        | `Tcg b -> (
+            match collect rest with
+            | `Blocks bs -> `Blocks (b :: bs)
+            | x -> x))
   in
-  if List.length path < 2 then None
+  if List.length path < 2 then `Not_ready
   else
     match collect path with
-    | None -> None
-    | Some blocks -> (
+    | (`Failed | `Not_ready) as x -> x
+    | `Blocks blocks -> (
         let stitched =
           Tcg.Pipeline.run t.config.Config.passes (Tcg.Block.concat blocks)
         in
@@ -399,18 +643,28 @@ let form_superblock t head =
                 m "superblock@0x%Lx: %d blocks, %d tcg ops" head.Tbchain.pc
                   (List.length blocks)
                   (Tcg.Block.op_count stitched));
-            Some (Native code, List.length blocks)
-        | exception Fault.Fault _ -> None
-        | exception Backend.Register_pressure _ -> None)
+            (* When the whole trace executes, it exits to the tail's
+               dominant successor; anything else is a side exit. *)
+            let tail = List.nth path (List.length path - 1) in
+            let expected_exit =
+              match Tier.dominant tail.Tbchain.tier with
+              | Some (pc, _) -> pc
+              | None -> -1L
+            in
+            `Installed (Native code, List.length blocks, expected_exit)
+        | exception Fault.Fault _ -> `Failed
+        | exception Backend.Register_pressure _ -> `Failed)
 
 let maybe_superblock t node =
   let threshold = t.config.Config.trace_threshold in
   if
     threshold > 0
     && Tbchain.chaining t.tbs
-    && node.Tbchain.exec_count = threshold
+    && node.Tbchain.exec_count >= threshold
     && node.Tbchain.super_len = 0
-    && not node.Tbchain.no_super
+    && (not node.Tbchain.no_super)
+    && (match node.Tbchain.body with Native _ -> true | Interp_only _ -> false)
+    && Option.is_some (Tier.dominant node.Tbchain.tier)
   then
     match
       Obs.Trace.with_span ~cat:"engine"
@@ -418,11 +672,33 @@ let maybe_superblock t node =
         "superblock"
         (fun () -> form_superblock t node)
     with
-    | Some (super, len) ->
+    | `Installed (super, len, expected_exit) ->
         Tbchain.install_super node super ~len;
+        Tier.note_super_installed node.Tbchain.tier ~expected_exit;
         t.stats.superblocks <- t.stats.superblocks + 1;
-        Obs.Metrics.incr (Lazy.force m_superblocks)
-    | None -> node.Tbchain.no_super <- true
+        Obs.Metrics.incr (Lazy.force m_superblocks);
+        Obs.Metrics.incr (Lazy.force Tier.m_promotions)
+    | `Not_ready -> ()
+    | `Failed -> node.Tbchain.no_super <- true
+
+(* Tier-2 demotion: the superblock's observed side-exit rate crossed
+   Tier's regression bound, so the stitched tail is mostly wasted work
+   (and mispredicted path).  Fall back to the tier-1 TB and retrain the
+   successor profile; after [Tier.max_deopts] demotions the block stops
+   retrying. *)
+let maybe_deopt t node =
+  let p = node.Tbchain.tier in
+  if Tier.should_deopt p then begin
+    node.Tbchain.active <- node.Tbchain.body;
+    node.Tbchain.super_len <- 0;
+    Tier.note_deopt p;
+    if not (Tier.retry_allowed p) then node.Tbchain.no_super <- true;
+    t.stats.deopts <- t.stats.deopts + 1;
+    Obs.Metrics.incr (Lazy.force Tier.m_deopts);
+    Log.info (fun m ->
+        m "superblock@0x%Lx deoptimized (side-exit regression)"
+          node.Tbchain.pc)
+  end
 
 let step_block t g =
   if not g.finished then
@@ -431,7 +707,22 @@ let step_block t g =
       | node ->
           t.stats.blocks_executed <- t.stats.blocks_executed + 1;
           node.Tbchain.exec_count <- node.Tbchain.exec_count + 1;
+          let p = node.Tbchain.tier in
+          (* Tier 0 -> 1: request the backend compile once the block
+             proves hot.  [Cold] implies an interpreter body, so the
+             check is two loads on the (sync-preset) fast path. *)
+          if
+            p.Tier.state = Tier.Cold
+            && t.config.Config.jit_threshold > 0
+            && node.Tbchain.exec_count >= t.config.Config.jit_threshold
+          then request_compile t node;
+          (match node.Tbchain.active with
+          | Interp_only _ ->
+              t.stats.interp_execs <- t.stats.interp_execs + 1;
+              p.Tier.interp_execs <- p.Tier.interp_execs + 1
+          | Native _ -> ());
           maybe_superblock t node;
+          if node.Tbchain.super_len > 0 then Tier.record_super_entry p;
           (* Cycle attribution for hot-block ranking is metered: one
              enabled check per dispatch when off.  Guest cycle counting
              is deterministic, so reading it cannot perturb the run. *)
@@ -447,6 +738,16 @@ let step_block t g =
       | exception Fault.Fault f -> `Trap f
     with
     | `Ran (node, `Next pc) ->
+        (* Branch-outcome profile: a plain block records its observed
+           static successor; a superblock records whether it ran to its
+           expected exit, which is what drives demotion.  Recording is
+           unconditional (not metrics-gated) so observability cannot
+           perturb tier decisions. *)
+        if node.Tbchain.super_len > 0 then begin
+          Tier.record_super_exit node.Tbchain.tier pc;
+          maybe_deopt t node
+        end
+        else Tier.record_succ node.Tbchain.tier pc;
         (* Static exit: follow the patched edge, or patch one the first
            time the target is found translated.  Either way the next
            dispatch of this thread skips the hashtable. *)
@@ -465,11 +766,17 @@ let step_block t g =
                 end
             | None -> ()));
         g.pc <- pc
-    | `Ran (_, `Jump pc) -> g.pc <- pc
-    | `Ran (_, `Halt) ->
+    | `Ran (node, `Jump pc) ->
+        if node.Tbchain.super_len = 0 then Tier.record_other node.Tbchain.tier;
+        g.pc <- pc
+    | `Ran (node, `Halt) ->
+        if node.Tbchain.super_len = 0 then Tier.record_other node.Tbchain.tier;
         Log.debug (fun m -> m "T%d halted" g.arm.Arm.Machine.tid);
         g.finished <- true
-    | `Ran (_, `Trap f) | `Trap f -> fault_thread t g f
+    | `Ran (node, `Trap f) ->
+        if node.Tbchain.super_len = 0 then Tier.record_other node.Tbchain.tier;
+        fault_thread t g f
+    | `Trap f -> fault_thread t g f
 
 type outcome =
   | Completed of guest_thread list
@@ -534,9 +841,10 @@ let trap g = g.trap
 (* ------------------------------------------------------------------ *)
 (* Profiling views over the code cache and the stats record.           *)
 
-(* Hottest translated blocks, ranked by attributed guest cycles (when
-   Obs.Metrics was enabled during the run) falling back to raw
-   execution counts. *)
+(* Hottest translated blocks, ranked by observed-path heat (execution
+   count plus dominant-successor hits from the tier profile — the
+   tier-2 candidate ordering), with attributed guest cycles and raw
+   counts carried along for display and fallback ranking. *)
 let hot_blocks ?limit t =
   let entries =
     Tbchain.fold
@@ -547,6 +855,7 @@ let hot_blocks ?limit t =
             Obs.Profile.key = pc;
             count = n.Tbchain.exec_count;
             cost = n.Tbchain.prof_cycles;
+            heat = Tier.heat ~execs:n.Tbchain.exec_count n.Tbchain.tier;
           }
           :: acc)
       t.tbs []
@@ -561,10 +870,12 @@ let stats_line t g =
   Printf.sprintf
     "cycles=%d blocks=%d executed=%d chained=%d chain-hits=%d \
      jcache-hits=%d superblocks=%d interp-fallbacks=%d traps=%d \
-     cache-quarantined=%d"
+     cache-quarantined=%d interp-execs=%d tier1-installed=%d deopts=%d \
+     installs-dropped=%d queue-hwm=%d"
     g.arm.Arm.Machine.cycles s.blocks_translated s.blocks_executed s.chained
     s.chain_hits s.jmp_cache_hits s.superblocks s.interp_fallbacks s.traps
-    s.cache_quarantined
+    s.cache_quarantined s.interp_execs s.tier1_installed s.deopts
+    s.installs_dropped s.install_hwm
 
 (* Publish the hot-path dispatch counters (kept as plain mutable fields
    so dispatch pays nothing for them) into the metrics registry as
@@ -586,7 +897,15 @@ let publish_metrics t =
     set "engine.stats.superblocks" s.superblocks;
     set "engine.stats.interp_fallbacks" s.interp_fallbacks;
     set "engine.stats.traps" s.traps;
-    set "engine.stats.cache_quarantined" s.cache_quarantined
+    set "engine.stats.cache_quarantined" s.cache_quarantined;
+    set "engine.stats.interp_execs" s.interp_execs;
+    set "engine.stats.tier1_installed" s.tier1_installed;
+    set "engine.stats.deopts" s.deopts;
+    set "engine.stats.installs_dropped" s.installs_dropped;
+    set "engine.stats.install_hwm" s.install_hwm;
+    Tier.publish ~interp_execs:s.interp_execs ~installed:s.tier1_installed
+      ~superblocks:s.superblocks ~deopts:s.deopts ~queue_hwm:s.install_hwm
+      ~dropped:s.installs_dropped
   end
 
 (* ------------------------------------------------------------------ *)
@@ -749,12 +1068,18 @@ let load_cache t path =
   with
   | staged, quarantined ->
       (* Loaded translations replace whatever the engine had patched
-         jumps into: unchain everything (and bump the generation so
-         per-thread jump caches and pending chained targets die) before
-         installing the staged blocks. *)
+         jumps into: discard queued installs, then unchain everything
+         (bumping the generation, so per-thread jump caches, pending
+         chained targets and in-flight background compiles all die)
+         before installing the staged blocks.  [clear_links] also
+         resets every surviving node's tier profile — a resumed run
+         must not promote on counters trained before the reload. *)
+      discard_pending_installs t;
       Tbchain.clear_links t.tbs;
       Hashtbl.iter
-        (fun pc code -> ignore (Tbchain.insert t.tbs pc (Native code)))
+        (fun pc code ->
+          let n = Tbchain.insert t.tbs pc (Native code) in
+          n.Tbchain.tier.Tier.state <- Tier.Published)
         staged;
       t.stats.cache_quarantined <- t.stats.cache_quarantined + quarantined;
       if quarantined > 0 && Obs.Metrics.enabled () then

@@ -11,10 +11,22 @@
     direct-mapped jump cache (cf. QEMU's [tb_jmp_cache]), and only then
     the hashtable.  Chaining executes the same code in the same order,
     so it never changes results or guest cycles; disable it with
-    [config.chain = false].  With [config.trace_threshold > 0], hot
-    block heads get their hottest chain stitched into a superblock and
-    re-optimized across the former block boundaries (see
-    {!Tcg.Block.concat}).
+    [config.chain = false].
+
+    {b Tier ladder.}  With [config.jit_threshold > 0] fresh blocks
+    start on the TCG interpreter (tier 0) while a {!Tier} profile
+    accumulates execution and branch-outcome counters; crossing the
+    threshold requests a backend compile — inline when
+    [config.sync_compile], otherwise on a background
+    {!Parallel.Pool.service} with the result published between
+    dispatches under a generation check (tier 1).  With
+    [config.trace_threshold > 0], hot block heads whose profile shows a
+    dominant observed successor get that path stitched into a
+    superblock and re-optimized across the former block boundaries
+    (tier 2, see {!Tcg.Block.concat}), and are demoted back to their
+    tier-1 TB if the side-exit rate regresses.  All presets have
+    [jit_threshold = 0]: the ladder is opt-in, and every tier runs the
+    same Pipeline and fence mapping.
 
     {b Fault model.}  Guest-caused failures (undecodable code, missing
     helpers, unresolvable imports, runaway blocks) never abort a run:
@@ -52,6 +64,23 @@ type stats = {
       (** persistent-cache entries dropped by {!load_cache} because
           their checksum (or framing-internal decode) failed; each one
           just retranslates on first execution *)
+  mutable interp_execs : int;
+      (** dispatches served by the TCG interpreter: tier-0 executions
+          (block not yet past [config.jit_threshold], or its compile
+          still in flight) plus degraded blocks *)
+  mutable tier1_installed : int;
+      (** compile requests whose native TB was published into the chain
+          table (tier 1) *)
+  mutable deopts : int;
+      (** superblocks demoted back to their tier-1 TB because the
+          observed side-exit rate regressed *)
+  mutable installs_dropped : int;
+      (** compile results discarded because {!reset} / {!load_cache}
+          bumped the chain generation while they were queued or in
+          flight *)
+  mutable install_hwm : int;
+      (** install-queue depth high-water mark (background service
+          depth at submit, or pending completions at publish) *)
 }
 
 (** Engine log source ([risotto.engine]): [info] logs translations,
@@ -83,9 +112,17 @@ type guest_thread = {
 (** Create an engine.  [idl] defaults to the full host-library IDL when
     the config enables the linker; pass [~idl:[]] to disable linking of
     everything.  The engine's fault-injection state is built from
-    [config.inject]. *)
+    [config.inject].
+
+    [install_service] supplies the background translation service for
+    async-tiered configs ([jit_threshold > 0] and [sync_compile =
+    false]); by default such engines share one lazily spawned
+    process-wide service.  Ignored (and never spawned) for synchronous
+    configs.  Tests inject their own service to control background
+    scheduling. *)
 val create :
-  ?cost:Arm.Cost.t -> ?idl:Linker.Idl.signature list -> Config.t ->
+  ?cost:Arm.Cost.t -> ?idl:Linker.Idl.signature list ->
+  ?install_service:Parallel.Pool.service -> Config.t ->
   Image.Gelf.t -> t
 
 val config : t -> Config.t
@@ -111,10 +148,18 @@ val spawn :
     the original per-block translation (never a superblock). *)
 val fetch : t -> int64 -> compiled
 
-(** Flush the translation caches: every block, patched chain edge and
-    superblock is dropped, and the chain generation is bumped so stale
-    per-thread dispatch state can never fire. *)
+(** Flush the translation caches: every block, patched chain edge,
+    superblock and per-block tier profile is dropped, queued installs
+    are discarded (counted in [stats.installs_dropped]), and the chain
+    generation is bumped so stale per-thread dispatch state — and any
+    background compile still in flight — can never fire. *)
 val reset : t -> unit
+
+(** Block until every queued background compile has finished, then
+    publish (or drop, on a generation mismatch) the results.  No-op for
+    synchronous engines.  Call before reading tier stats after an
+    async-tiered run, or to quiesce the shared service in tests. *)
+val drain_installs : t -> unit
 
 (** Current chain-table generation; bumped by {!reset} and by a
     successful {!load_cache} (both invalidate patched edges). *)
@@ -179,9 +224,11 @@ val trap : guest_thread -> Fault.t option
     concurrent runs, and feeds {!Obs.Metrics} when the registry is
     enabled; both are single-branch no-ops otherwise. *)
 
-(** Hottest translated blocks, ranked by guest cycles attributed to
-    each block while {!Obs.Metrics} was enabled (falling back to raw
-    execution counts).  [limit] defaults to 10. *)
+(** Hottest translated blocks, ranked by observed-path heat (execution
+    count plus dominant-successor hits from the branch-outcome profile
+    — exactly the tier-2 candidate ordering); attributed guest cycles
+    and raw counts ride along in each entry.  [limit] defaults to
+    10. *)
 val hot_blocks : ?limit:int -> t -> Obs.Profile.entry list
 
 (** One-line run summary for CLIs: guest cycles of [g] plus the engine

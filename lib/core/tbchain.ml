@@ -18,6 +18,8 @@ type 'a node = {
   mutable no_super : bool;  (* superblock formation failed; do not retry *)
   mutable prof_cycles : int;
       (* guest cycles attributed to this block while metrics were on *)
+  tier : Tier.profile;
+      (* tier-ladder state + observed-successor profile (see Tier) *)
 }
 
 and 'a edge = { epc : int64; target : 'a node; mutable hits : int }
@@ -50,7 +52,8 @@ let reset_node n body =
   n.edges <- [];
   n.super_len <- 0;
   n.no_super <- false;
-  n.prof_cycles <- 0
+  n.prof_cycles <- 0;
+  Tier.reset n.tier
 
 let insert t pc body =
   match Hashtbl.find_opt t.table pc with
@@ -70,6 +73,7 @@ let insert t pc body =
           super_len = 0;
           no_super = false;
           prof_cycles = 0;
+          tier = Tier.fresh ();
         }
       in
       Hashtbl.replace t.table pc n;
@@ -132,7 +136,8 @@ let clear_links t =
       n.exec_count <- 0;
       n.super_len <- 0;
       n.no_super <- false;
-      n.prof_cycles <- 0)
+      n.prof_cycles <- 0;
+      Tier.reset n.tier)
     t.table;
   t.generation <- t.generation + 1
 

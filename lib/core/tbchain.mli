@@ -24,6 +24,9 @@ type 'a node = {
   mutable prof_cycles : int;
       (** guest cycles this block accumulated while {!Obs.Metrics} was
           enabled (0 otherwise) — feeds hot-block ranking *)
+  tier : Tier.profile;
+      (** tier-ladder state and observed-successor profile; reset along
+          with the other hotness state on {!insert}/{!clear_links} *)
 }
 
 and 'a edge = { epc : int64; target : 'a node; mutable hits : int }

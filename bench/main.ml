@@ -778,16 +778,22 @@ let dispatch_bench ~reps ~out () =
 (* ------------------------------------------------------------------ *)
 (* Observability bench: parity + disabled overhead → BENCH_obs.json    *)
 
-(* Three passes over the dispatch kernels — obs fully off, metrics on,
-   tracer on — must produce byte-identical guest end states, cycles and
-   engine statistics (the probes are behaviour-invisible).  The cost of
-   a disabled probe is microbenchmarked directly and compared against
-   the measured per-block dispatch time: the hooks compiled into the
-   hot path must cost <2%% of a block (hard gate at 5%%). *)
+(* Passes over the dispatch kernels — obs fully off, flight recorder
+   off, metrics on, tracer on — must produce byte-identical guest end
+   states, cycles and engine statistics (the probes and the recorder
+   are behaviour-invisible).  The cost of a disabled probe and of one
+   enabled flight-recorder event are microbenchmarked directly and
+   compared against the measured per-block dispatch time: the hooks
+   compiled into the hot path must cost <2%% of a block (hard gate at
+   5%% for disabled probes, 2%% for the always-on recorder).  The
+   metrics pass also reads back the fence-provenance ledger counters
+   (fence.<kind>.<outcome>) to report the merged ratio, and an async
+   tiered pass feeds the tier-lifecycle latency histograms so the
+   request-to-publish percentiles land in the JSON. *)
 let obs_bench ~reps ~out ~trace_out () =
   section
     (Printf.sprintf
-       "Observability: tracer/metrics parity and disabled overhead (%d \
+       "Observability: tracer/metrics/recorder parity and overhead (%d \
         kernels, best of %d)"
        (List.length Harness.Parsec.all)
        reps);
@@ -806,11 +812,19 @@ let obs_bench ~reps ~out ~trace_out () =
     done;
     (!best, !results)
   in
+  (* The flight recorder is always-on: the "off" baseline below runs
+     with it recording, exactly as production does.  The extra
+     recorder-off pass pins down differential parity and the
+     wall-clock cost of leaving it on. *)
   Obs.Trace.disable ();
   Obs.Metrics.disable ();
   let off_s, off_r = time_pass () in
+  Obs.Flight.disable ();
+  let norec_s, norec_r = time_pass () in
+  Obs.Flight.enable ();
   Obs.Metrics.enable ();
   let met_s, met_r = time_pass () in
+  let met_snap = Obs.Metrics.snapshot () in
   Obs.Metrics.disable ();
   Obs.Trace.enable ();
   let trace_s, trace_r = time_pass () in
@@ -822,6 +836,7 @@ let obs_bench ~reps ~out ~trace_out () =
         n1 = n2 && r1 = r2 && m1 = m2 && c1 = c2 && s1 = s2)
   in
   let parity = same off_r met_r && same off_r trace_r in
+  let recorder_parity = same off_r norec_r in
   (* Microbenchmark one disabled probe bundle (span + counter +
      histogram), then cost it against the measured per-block wall
      time of the instrumented dispatch loop. *)
@@ -845,44 +860,169 @@ let obs_bench ~reps ~out ~trace_out () =
      block while disabled (the metrics gate in step_block, plus the
      translate/superblock spans amortized over reuse). *)
   let overhead_pct = 2.0 *. probe_ns /. block_ns *. 100.0 in
+  (* The recorder itself: one enabled record is three unboxed array
+     stores and an increment; step_block logs one block-enter per
+     dispatched block (tier events are amortized over block reuse), so
+     record_ns/block_ns bounds the always-on cost. *)
+  let ring = Obs.Flight.create () in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    Obs.Flight.record ring Obs.Flight.Block_enter 0x1000L
+      (Sys.opaque_identity i)
+  done;
+  let record_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+  let recorder_pct = record_ns /. block_ns *. 100.0 in
+  let recorder_wall_delta_pct =
+    if norec_s > 0.0 then (off_s -. norec_s) /. norec_s *. 100.0 else 0.0
+  in
+  (* Fence-elimination provenance: the metrics pass accumulated the
+     fence.<kind>.<outcome> ledger counters while the risotto pipeline
+     (Fence_merge included) retranslated every kernel. *)
+  let fence_outcome suffix =
+    List.fold_left
+      (fun acc (name, v) ->
+        if Filename.check_suffix name suffix then acc + v else acc)
+      0
+      (Obs.Metrics.counters_with_prefix met_snap "fence.")
+  in
+  let fence_emitted = fence_outcome ".emitted" in
+  let fence_merged = fence_outcome ".merged" in
+  let fence_dropped = fence_outcome ".dropped" in
+  let merged_ratio =
+    if fence_emitted = 0 then 0.0
+    else
+      float_of_int (fence_merged + fence_dropped)
+      /. float_of_int fence_emitted
+  in
+  (* Tier-lifecycle latency: an async tiered pass (background installs,
+     metrics on) feeds the request-to-publish and queue-wait
+     histograms; a percentile is the upper bound of the first log2
+     bucket whose cumulative count reaches the quantile. *)
+  let tiered =
+    {
+      config with
+      Core.Config.jit_threshold = 8;
+      trace_threshold = 24;
+      sync_compile = false;
+    }
+  in
+  Obs.Metrics.enable ();
+  List.iter
+    (fun b ->
+      let _, eng = Harness.Kernel.run_dbt tiered b.Harness.Parsec.spec in
+      Core.Engine.drain_installs eng)
+    Harness.Parsec.all;
+  let lat_snap = Obs.Metrics.snapshot () in
+  Obs.Metrics.disable ();
+  let percentile (h : Obs.Metrics.hist_snap) q =
+    if h.Obs.Metrics.count = 0 then 0
+    else begin
+      let target =
+        max 1 (int_of_float (ceil (q *. float_of_int h.Obs.Metrics.count)))
+      in
+      let acc = ref 0 and res = ref 0 in
+      (try
+         Array.iteri
+           (fun b n ->
+             acc := !acc + n;
+             if !acc >= target then begin
+               (res := if b = 0 then 0 else (1 lsl min b 62) - 1);
+               raise Exit
+             end)
+           h.Obs.Metrics.counts
+       with Exit -> ());
+      !res
+    end
+  in
+  let hist name =
+    match Obs.Metrics.find_histogram lat_snap name with
+    | Some h -> h
+    | None -> { Obs.Metrics.count = 0; sum = 0; counts = [||] }
+  in
+  let req_pub = hist "tier.request_to_publish.ns" in
+  let queue_wait = hist "tier.install_queue.ns" in
   Format.printf
-    "  wall: off %.3fs, metrics %.3fs, trace %.3fs@.  parity (regs, memory, \
-     cycles, stats): %b@.  disabled probe bundle: %.1f ns; dispatch block: \
-     %.0f ns; overhead %.3f%% (target <2%%, gate 5%%)@.  trace: %d event(s) \
-     -> %s@."
-    off_s met_s trace_s parity probe_ns block_ns overhead_pct trace_events
+    "  wall: off %.3fs, recorder-off %.3fs, metrics %.3fs, trace %.3fs@.  \
+     parity (regs, memory, cycles, stats): probes %b, recorder %b@.  \
+     disabled probe bundle: %.1f ns; dispatch block: %.0f ns; overhead \
+     %.3f%% (target <2%%, gate 5%%)@.  recorder event: %.1f ns; overhead \
+     %.3f%% (gate 2%%); wall delta %+.2f%%@.  fences: %d emitted, %d \
+     merged, %d dropped -> merged ratio %.3f@.  install latency \
+     (request->publish, %d sample(s)): p50 %d ns, p95 %d ns, p99 %d ns; \
+     queue wait p95 %d ns@.  trace: %d event(s) -> %s@."
+    off_s norec_s met_s trace_s parity recorder_parity probe_ns block_ns
+    overhead_pct record_ns recorder_pct recorder_wall_delta_pct fence_emitted
+    fence_merged fence_dropped merged_ratio req_pub.Obs.Metrics.count
+    (percentile req_pub 0.50) (percentile req_pub 0.95)
+    (percentile req_pub 0.99) (percentile queue_wait 0.95) trace_events
     trace_out;
   let oc = open_out out in
   Printf.fprintf oc
     {|{
   %s
-  "bench": "observability: parity and disabled overhead",
+  "bench": "observability: parity, overhead, fence provenance, tier latency",
   "kernels": %d,
   "reps": %d,
   "off_s": %.6f,
+  "recorder_off_s": %.6f,
   "metrics_s": %.6f,
   "trace_s": %.6f,
   "parity": %b,
+  "recorder_parity": %b,
   "disabled_probe_ns": %.3f,
   "dispatch_block_ns": %.3f,
   "disabled_overhead_pct": %.4f,
+  "recorder_record_ns": %.3f,
+  "recorder_overhead_pct": %.4f,
+  "recorder_wall_delta_pct": %.4f,
+  "fence_emitted": %d,
+  "fence_merged": %d,
+  "fence_dropped": %d,
+  "fence_merged_ratio": %.4f,
+  "install_latency": { "count": %d, "p50_ns": %d, "p95_ns": %d, "p99_ns": %d },
+  "install_queue_wait": { "count": %d, "p50_ns": %d, "p95_ns": %d },
   "trace_events": %d
 }
 |}
     (envelope "obs")
     (List.length Harness.Parsec.all)
-    reps off_s met_s trace_s parity probe_ns block_ns overhead_pct
-    trace_events;
+    reps off_s norec_s met_s trace_s parity recorder_parity probe_ns block_ns
+    overhead_pct record_ns recorder_pct recorder_wall_delta_pct fence_emitted
+    fence_merged fence_dropped merged_ratio req_pub.Obs.Metrics.count
+    (percentile req_pub 0.50) (percentile req_pub 0.95)
+    (percentile req_pub 0.99) queue_wait.Obs.Metrics.count
+    (percentile queue_wait 0.50) (percentile queue_wait 0.95) trace_events;
   close_out oc;
   Format.printf "  wrote %s@." out;
   if not parity then begin
     Format.eprintf "obs bench: enabling observability changed results!@.";
     exit 2
   end;
+  if not recorder_parity then begin
+    Format.eprintf
+      "obs bench: disabling the flight recorder changed results!@.";
+    exit 2
+  end;
   if overhead_pct > 5.0 then begin
     Format.eprintf
       "obs bench: disabled-probe overhead %.3f%% exceeds the 5%% gate!@."
       overhead_pct;
+    exit 2
+  end;
+  if recorder_pct > 2.0 then begin
+    Format.eprintf
+      "obs bench: always-on recorder overhead %.3f%% exceeds the 2%% gate!@."
+      recorder_pct;
+    exit 2
+  end;
+  if fence_emitted = 0 then begin
+    Format.eprintf
+      "obs bench: the fence ledger recorded no emitted fences!@.";
+    exit 2
+  end;
+  if req_pub.Obs.Metrics.count = 0 then begin
+    Format.eprintf
+      "obs bench: the async tiered pass published no installs!@.";
     exit 2
   end;
   if trace_events = 0 then begin
@@ -1090,6 +1230,73 @@ let run_cache_campaign ~tmp =
   let rerun_ok = Core.Engine.reg g R.R13 = 77L in
   (save_blocked, verify_ok, quarantine_ok, rerun_ok)
 
+(* Postmortem campaign: an injected decode fault under the always-on
+   flight recorder must dump a postmortem, and the dump must be
+   byte-deterministic — the same image, config and plan written to two
+   fresh directories produce identical files.  The first directory is
+   kept in the working tree so CI can assert on and upload the
+   artifact. *)
+let postmortem_dir = "chaos_postmortems"
+
+let run_postmortem_campaign ~tmp =
+  let open X86.Asm in
+  let module I = X86.Insn in
+  let module R = X86.Reg in
+  let items =
+    [
+      Label "main";
+      Ins (I.Mov_ri (R.RBX, 3L));
+      Label "loop";
+      Ins (I.Alu (I.Sub, R.RBX, I.I 1L));
+      Ins (I.Cmp (R.RBX, I.I 0L));
+      Jcc_lbl (I.Ne, "loop");
+      Ins I.Hlt;
+    ]
+  in
+  let image = Image.Gelf.build ~entry:"main" items in
+  let faulty =
+    {
+      Core.Config.risotto with
+      Core.Config.inject = [ Core.Inject.Always Core.Inject.Decode ];
+    }
+  in
+  let run dir =
+    let eng = Core.Engine.create faulty image in
+    Core.Engine.set_postmortem_dir eng (Some dir);
+    let g = Core.Engine.run eng in
+    let trapped = Core.Engine.trap g <> None in
+    let written = Core.Engine.postmortems_written eng in
+    let body =
+      let path = Filename.concat dir "postmortem-000.json" in
+      if Sys.file_exists path then begin
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      end
+      else ""
+    in
+    (trapped, written, body)
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn > 0 && go 0
+  in
+  let trapped1, written1, body1 = run postmortem_dir in
+  let trapped2, written2, body2 =
+    run (Filename.concat tmp "postmortems")
+  in
+  let wrote = trapped1 && trapped2 && written1 >= 1 && written2 >= 1 in
+  let deterministic = body1 <> "" && body1 = body2 in
+  let well_formed =
+    contains body1 {|"schema":"risotto.postmortem.v1"|}
+    && contains body1 {|"kind":"trap"|}
+    && contains body1 {|"fence_ledgers"|}
+    && contains body1 {|"tiers"|}
+  in
+  (written1, wrote, deterministic, well_formed)
+
 let chaos_bench ~plans ~seed ~out () =
   section
     (Printf.sprintf
@@ -1127,8 +1334,21 @@ let chaos_bench ~plans ~seed ~out () =
     "  cache: save blocked pre-rename: %b, verify: %b, quarantine: %b, \
      rerun correct: %b@."
     save_blocked verify_ok quarantine_ok rerun_ok;
-  (* Best-effort scratch cleanup; artifacts are tiny either way. *)
+  let pm_written, pm_wrote, pm_deterministic, pm_well_formed =
+    run_postmortem_campaign ~tmp
+  in
+  Format.printf
+    "  postmortem: %d written to %s/, trap dumped: %b, byte-deterministic: \
+     %b, well-formed: %b@."
+    pm_written postmortem_dir pm_wrote pm_deterministic pm_well_formed;
+  (* Best-effort scratch cleanup; artifacts are tiny either way.  The
+     cwd postmortem directory is deliberately kept for CI to pick up. *)
   (try
+     let pm = Filename.concat tmp "postmortems" in
+     if Sys.file_exists pm then begin
+       Array.iter (fun f -> Sys.remove (Filename.concat pm f)) (Sys.readdir pm);
+       Unix.rmdir pm
+     end;
      Array.iter
        (fun f -> Sys.remove (Filename.concat tmp f))
        (Sys.readdir tmp);
@@ -1144,7 +1364,8 @@ let chaos_bench ~plans ~seed ~out () =
   "cells": %d,
   "campaigns": [%s],
   "watchdog": { "timeouts": %d, "fired": %b, "recovered": %b },
-  "cache": { "save_blocked": %b, "verify_ok": %b, "quarantine_ok": %b, "rerun_ok": %b }
+  "cache": { "save_blocked": %b, "verify_ok": %b, "quarantine_ok": %b, "rerun_ok": %b },
+  "postmortems": { "written": %d, "dir": %S, "trap_dumped": %b, "deterministic": %b, "well_formed": %b }
 }
 |}
     (envelope "chaos") plans seed
@@ -1157,13 +1378,15 @@ let chaos_bench ~plans ~seed ~out () =
               c.plan c.crashed c.first_failures c.resumes c.converged)
           campaigns))
     timeouts watchdog_fired watchdog_recovered save_blocked verify_ok
-    quarantine_ok rerun_ok;
+    quarantine_ok rerun_ok pm_written postmortem_dir pm_wrote pm_deterministic
+    pm_well_formed;
   close_out oc;
   Format.printf "  wrote %s@." out;
   let failed =
     List.exists (fun c -> not c.converged) campaigns
     || (not watchdog_fired) || (not watchdog_recovered) || (not save_blocked)
-    || (not verify_ok) || (not quarantine_ok) || not rerun_ok
+    || (not verify_ok) || (not quarantine_ok) || (not rerun_ok)
+    || (not pm_wrote) || (not pm_deterministic) || not pm_well_formed
   in
   if failed then begin
     Format.eprintf "chaos bench: a robustness invariant failed!@.";

@@ -62,7 +62,8 @@ let dis path =
   0
 
 let run path config_name trace_out debug metrics inject no_chain
-    trace_threshold tier2_threshold jit_threshold sync_compile report =
+    trace_threshold tier2_threshold jit_threshold sync_compile report
+    postmortem =
   if debug then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.Src.set_level Core.Engine.log_src (Some Logs.Debug)
@@ -99,6 +100,7 @@ let run path config_name trace_out debug metrics inject no_chain
           in
           let image = Image.Gelf.load path in
           let eng = Core.Engine.create config image in
+          Core.Engine.set_postmortem_dir eng postmortem;
           let g = Core.Engine.run eng in
           (* Settle the async tier before reporting: any compile still
              in flight is published (or dropped), so the tier counters
@@ -123,10 +125,14 @@ let run path config_name trace_out debug metrics inject no_chain
           | Some f ->
               Format.printf "guest trap: %s@." (Core.Fault.to_string f)
           | None -> ());
+          if Core.Engine.postmortems_written eng > 0 then
+            Format.printf "wrote %d postmortem(s) to %s@."
+              (Core.Engine.postmortems_written eng)
+              (Option.value ~default:"." postmortem);
           if metrics || report <> None then
             Core.Engine.publish_metrics eng;
           if metrics then begin
-            Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ());
+            Obs.Metrics.dump ();
             (match Core.Engine.hot_blocks eng with
             | [] -> ()
             | hot ->
@@ -151,6 +157,43 @@ let run path config_name trace_out debug metrics inject no_chain
               Format.printf "wrote %d trace event(s) to %s@." n out
           | None -> ());
           Int64.to_int arm.Arm.Machine.exit_code land 0xFF)
+
+(* explain-fences: run the image, then attribute every fence the
+   frontend ever emitted to its guest instruction, mapping rule and
+   fate under the optimizer — the per-block view of the ledger whose
+   aggregates feed the fence.<kind>.<outcome> metrics. *)
+let explain_fences path config_name =
+  match List.assoc_opt config_name configs with
+  | None ->
+      Format.eprintf "unknown config %S (one of: %s)@." config_name
+        (String.concat ", " (List.map fst configs));
+      1
+  | Some config ->
+      let image = Image.Gelf.load path in
+      let eng = Core.Engine.create config image in
+      let g = Core.Engine.run eng in
+      Core.Engine.drain_installs eng;
+      (match Core.Engine.trap g with
+      | Some f -> Format.printf "guest trap: %s@." (Core.Fault.to_string f)
+      | None -> ());
+      let ledgers = Core.Engine.fence_ledgers eng in
+      let emitted = ref 0 and kept = ref 0 and merged = ref 0 in
+      let dropped = ref 0 in
+      List.iter
+        (fun (pc, l) ->
+          Format.printf "block 0x%Lx:@.%a" pc Tcg.Fence_ledger.pp l;
+          emitted := !emitted + Tcg.Fence_ledger.count l "emitted";
+          kept := !kept + Tcg.Fence_ledger.count l "kept";
+          merged := !merged + Tcg.Fence_ledger.count l "merged";
+          dropped := !dropped + Tcg.Fence_ledger.count l "dropped")
+        ledgers;
+      Format.printf
+        "total: %d emitted, %d kept, %d merged away, %d dropped@." !emitted
+        !kept !merged !dropped;
+      if !emitted > 0 then
+        Format.printf "fence.merged_ratio: %.3f@."
+          (float_of_int (!merged + !dropped) /. float_of_int !emitted);
+      0
 
 (* verify: offline integrity check, dispatching on the file's magic —
    gelf images ("GELF*") and persistent translation caches ("RSTC*")
@@ -341,16 +384,41 @@ let report_arg =
            in $(docv)) to $(docv)/report.html.  Implies $(b,--metrics) \
            collection.")
 
+let postmortem_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "postmortem" ] ~docv:"DIR"
+        ~doc:
+          "On any guest trap or watchdog exhaustion, dump a \
+           deterministic postmortem JSON (each thread's recent \
+           flight-recorder events, tier states, the trapping block's \
+           fence ledger, a chain summary and a metrics slice) into \
+           $(docv) as postmortem-NNN.json.  The flight recorder is \
+           always on; this flag only enables writing the artifact.")
+
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run an image under the DBT")
     Term.(
       const run $ path_arg $ config_arg $ trace_arg $ debug_arg
       $ metrics_arg $ inject_arg $ no_chain_arg $ trace_threshold_arg
       $ tier2_threshold_arg $ jit_threshold_arg $ sync_compile_arg
-      $ report_arg)
+      $ report_arg $ postmortem_arg)
+
+let explain_fences_cmd =
+  Cmd.v
+    (Cmd.info "explain-fences"
+       ~doc:
+         "Run an image and print each translated block's fence ledger: \
+          every barrier the mapping emitted, attributed to its guest \
+          instruction and rule, and what the optimizer did with it \
+          (kept / merged / strengthened / dropped), plus the run-wide \
+          merged ratio.")
+    Term.(const explain_fences $ path_arg $ config_arg)
 
 let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "gelf_tool" ~doc:"Guest image tool")
-          [ asm_cmd; demo_cmd; dis_cmd; run_cmd; verify_cmd ]))
+          [ asm_cmd; demo_cmd; dis_cmd; run_cmd; verify_cmd;
+            explain_fences_cmd ]))

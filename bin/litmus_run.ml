@@ -331,8 +331,7 @@ let main files model_name verbose jobs metrics =
       Format.printf "%d/%d tests hold@."
         (List.length ok - failures)
         (List.length ok);
-      if metrics then
-        Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ());
+      if metrics then Obs.Metrics.dump ();
       if failures = 0 then 0 else 1
 
 let files_arg =

@@ -162,7 +162,7 @@ let compile (config : Config.t) (b : Tcg.Block.t) =
           ins (A.Alu (binop_alu bop, reg d, reg a, A.I imm))
       | Op.Ld (d, base, off) -> ins (A.Ldr (reg d, reg base, off))
       | Op.St (s, base, off) -> ins (A.Str (reg s, reg base, off))
-      | Op.Mb f -> (
+      | Op.Mb (f, _) -> (
           match barrier_of_fence config f with
           | Some b' -> ins (A.Dmb b')
           | None -> ())

@@ -15,6 +15,12 @@ let m_fallbacks = lazy (Obs.Metrics.counter "engine.interp_fallbacks")
 let m_traps = lazy (Obs.Metrics.counter "engine.traps")
 let m_superblocks = lazy (Obs.Metrics.counter "engine.superblocks")
 
+(* Tier-lifecycle latency: how long a block waited from compile request
+   to publication, and how long its finished result sat in the
+   completion queue before the execution thread applied it. *)
+let m_req_to_publish = lazy (Obs.Metrics.histogram "tier.request_to_publish.ns")
+let m_install_queue = lazy (Obs.Metrics.histogram "tier.install_queue.ns")
+
 type stats = {
   mutable blocks_translated : int;
   mutable blocks_executed : int;  (** dispatches through the execute loop *)
@@ -63,6 +69,10 @@ type install = {
   i_pc : int64;
   i_gen : int;
   i_result : (Arm.Insn.t array, Fault.t) result;
+  i_req_us : float;
+      (* request wall-clock (µs), 0. when metrics were off at request
+         time so latency observation stays metered *)
+  i_done_us : float;  (* completion-queue push wall-clock (µs), or 0. *)
 }
 
 type t = {
@@ -90,9 +100,19 @@ type t = {
       (* pushed count minus applied count; the dispatch loop's one-load
          "anything to publish?" probe.  Incremented after the push, so
          a positive value guarantees a non-empty queue. *)
+  flight : Obs.Flight.t;
+      (* engine-wide flight ring: tier publishes, superblocks, deopts,
+         install drops — lifecycle events not owned by one thread *)
+  ledgers : (int64, Tcg.Fence_ledger.t) Hashtbl.t;
+      (* per-block fence provenance, keyed by guest pc *)
+  mutable guest_threads : guest_thread list;
+      (* every thread ever spawned (newest first), so a postmortem can
+         show what each was doing *)
+  mutable postmortem_dir : string option;
+  mutable postmortems_written : int;
 }
 
-type guest_thread = {
+and guest_thread = {
   arm : Arm.Machine.thread;
   mutable pc : int64;
   mutable finished : bool;
@@ -101,6 +121,7 @@ type guest_thread = {
   mutable next_tb : compiled Tbchain.node option;
       (* chained target patched in by the previous block's exit *)
   mutable next_gen : int;  (* chain-table generation [next_tb] is valid for *)
+  gflight : Obs.Flight.t;  (* this thread's flight ring (single writer) *)
 }
 
 (* One process-wide background translation service, spawned lazily by
@@ -186,6 +207,11 @@ let create ?cost ?idl ?install_service config image =
     completions = Queue.create ();
     completions_m = Mutex.create ();
     completions_n = Atomic.make 0;
+    flight = Obs.Flight.create ();
+    ledgers = Hashtbl.create 1024;
+    guest_threads = [];
+    postmortem_dir = None;
+    postmortems_written = 0;
   }
   in
   t
@@ -195,6 +221,16 @@ let memory t = t.mem
 let stats t = t.stats
 let links t = t.links
 let injector t = t.inject
+let flight t = t.flight
+let thread_flight g = g.gflight
+let set_postmortem_dir t dir = t.postmortem_dir <- dir
+let postmortem_dir t = t.postmortem_dir
+let postmortems_written t = t.postmortems_written
+let fence_ledger t pc = Hashtbl.find_opt t.ledgers pc
+
+let fence_ledgers t =
+  Hashtbl.fold (fun pc l acc -> (pc, l) :: acc) t.ledgers []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
 let chain_generation t = Tbchain.generation t.tbs
 let chained_edges t = Tbchain.edge_count t.tbs
 let stack_top tid = Int64.sub 0x8000_0000L (Int64.of_int (tid * 0x10000))
@@ -236,7 +272,11 @@ let translate t pc =
   Log.info (fun m ->
       m "translate tb@0x%Lx: %d guest insns -> %d tcg ops" pc
         raw.Tcg.Block.guest_insns (Tcg.Block.op_count raw));
-  let optimized = Tcg.Pipeline.run t.config.Config.passes raw in
+  let ledger = Tcg.Fence_ledger.create () in
+  let optimized = Tcg.Pipeline.run ~ledger t.config.Config.passes raw in
+  Hashtbl.replace t.ledgers pc ledger;
+  Obs.Flight.record t.flight Obs.Flight.Fence_pass pc
+    (Tcg.Fenceopt.count optimized.Tcg.Block.ops);
   t.stats.blocks_translated <- t.stats.blocks_translated + 1;
   Obs.Metrics.incr (Lazy.force m_translated);
   t.stats.tcg_ops_before_opt <-
@@ -309,7 +349,23 @@ let translate t pc =
 let apply_install t inst =
   let stale () =
     t.stats.installs_dropped <- t.stats.installs_dropped + 1;
+    Obs.Flight.record t.flight Obs.Flight.Install_drop inst.i_pc inst.i_gen;
     Obs.Metrics.incr (Lazy.force Tier.m_installs_dropped)
+  in
+  (* Lifecycle latency is metered end-to-end: observe only when the
+     request was stamped (metrics on at request time) and metrics are
+     still on now. *)
+  let observe_latency () =
+    if inst.i_req_us > 0. && Obs.Metrics.enabled () then begin
+      let now = Obs.Profile.now_us () in
+      Obs.Metrics.observe
+        (Lazy.force m_req_to_publish)
+        (int_of_float ((now -. inst.i_req_us) *. 1e3));
+      if inst.i_done_us > 0. then
+        Obs.Metrics.observe
+          (Lazy.force m_install_queue)
+          (int_of_float ((now -. inst.i_done_us) *. 1e3))
+    end
   in
   if inst.i_gen <> Tbchain.generation t.tbs then stale ()
   else
@@ -328,12 +384,20 @@ let apply_install t inst =
                   (fun n i -> match i with Arm.Insn.Dmb _ -> n + 1 | _ -> n)
                   0 code;
             t.stats.tier1_installed <- t.stats.tier1_installed + 1;
+            Obs.Flight.record t.flight Obs.Flight.Tier_published inst.i_pc
+              inst.i_gen;
+            observe_latency ();
+            Obs.Trace.instant ~cat:"engine"
+              ~args:(fun () -> [ ("pc", Printf.sprintf "0x%Lx" inst.i_pc) ])
+              "tier-publish";
             Obs.Metrics.incr (Lazy.force Tier.m_installs);
             Log.debug (fun m ->
                 m "tb@0x%Lx: tier-1 TB published (%d host insns)" inst.i_pc
                   (Array.length code))
         | Error f ->
             node.Tbchain.tier.Tier.state <- Tier.Degraded;
+            Obs.Flight.record t.flight Obs.Flight.Tier_degraded inst.i_pc
+              inst.i_gen;
             t.stats.interp_fallbacks <- t.stats.interp_fallbacks + 1;
             Obs.Metrics.incr (Lazy.force m_fallbacks);
             Obs.Metrics.incr (Lazy.force Tier.m_install_failures);
@@ -367,6 +431,8 @@ let request_compile t node =
       Obs.Metrics.incr (Lazy.force Tier.m_requests);
       let pc = node.Tbchain.pc in
       let gen = Tbchain.generation t.tbs in
+      Obs.Flight.record t.flight Obs.Flight.Tier_queued pc gen;
+      let req_us = if Obs.Metrics.enabled () then Obs.Profile.now_us () else 0. in
       (* Fault injection is stateful: fire on the execution thread at
          enqueue time, so a plan's Nth/Seeded counters stay
          deterministic however the background domain schedules. *)
@@ -385,8 +451,12 @@ let request_compile t node =
                   (Fault.make ~pc Fault.Backend_fault
                      (Printf.sprintf "register pressure in block 0x%Lx" p'))
         in
+        let done_us = if req_us > 0. then Obs.Profile.now_us () else 0. in
         Mutex.lock t.completions_m;
-        Queue.push { i_pc = pc; i_gen = gen; i_result = result } t.completions;
+        Queue.push
+          { i_pc = pc; i_gen = gen; i_result = result; i_req_us = req_us;
+            i_done_us = done_us }
+          t.completions;
         Mutex.unlock t.completions_m;
         Atomic.incr t.completions_n
       in
@@ -435,15 +505,20 @@ let spawn t ~tid ~entry ?(regs = []) () =
   List.iter
     (fun (r, v) -> arm.Arm.Machine.regs.(X86.Reg.index r) <- v)
     regs;
-  {
-    arm;
-    pc = entry;
-    finished = false;
-    trap = None;
-    jcache = Tbchain.jcache_create t.tbs;
-    next_tb = None;
-    next_gen = Tbchain.generation t.tbs;
-  }
+  let g =
+    {
+      arm;
+      pc = entry;
+      finished = false;
+      trap = None;
+      jcache = Tbchain.jcache_create t.tbs;
+      next_tb = None;
+      next_gen = Tbchain.generation t.tbs;
+      gflight = Obs.Flight.create ();
+    }
+  in
+  t.guest_threads <- g :: t.guest_threads;
+  g
 
 (* Threads created by the guest's clone syscall since the last drain. *)
 let drain_spawns t =
@@ -467,6 +542,195 @@ let fault_of_machine_trap pc = function
       Fault.make ~pc Fault.Translate_fault
         (Printf.sprintf "block fell through at index %d" i)
 
+(* ------------------------------------------------------------------ *)
+(* Postmortems: on a trap (or watchdog exhaustion / injected fault) the
+   engine serialises a self-contained picture of what just happened —
+   every thread's last flight-ring events, the engine-wide lifecycle
+   ring, per-block tier states, the fence ledger of each trapping
+   block, a chain-table summary and the deterministic slice of the
+   metrics registry — as compact JSON via {!Report.Json}.  Everything
+   included is a pure function of the guest program, config, seed and
+   inject plan (no wall-clock values, no histograms), so two identical
+   runs produce byte-identical postmortems. *)
+
+let state_name = function
+  | Tier.Cold -> "cold"
+  | Tier.Queued -> "queued"
+  | Tier.Published -> "published"
+  | Tier.Degraded -> "degraded"
+
+let json_of_event (e : Obs.Flight.event) =
+  Report.Json.Obj
+    [
+      ("seq", Report.Json.Int e.Obs.Flight.seq);
+      ("kind", Report.Json.String (Obs.Flight.kind_name e.Obs.Flight.kind));
+      ("pc", Report.Json.String (Printf.sprintf "0x%Lx" e.Obs.Flight.pc));
+      ("arg", Report.Json.Int e.Obs.Flight.arg);
+    ]
+
+let json_of_ledger_entry (e : Tcg.Fence_ledger.entry) =
+  let base =
+    [
+      ("pass", Report.Json.String e.Tcg.Fence_ledger.pass);
+      ("kind", Report.Json.String (Axiom.Event.fence_name e.Tcg.Fence_ledger.kind));
+      ( "guest_pc",
+        Report.Json.String (Printf.sprintf "0x%Lx" e.Tcg.Fence_ledger.origin.Tcg.Op.opc) );
+      ( "rule",
+        Report.Json.String (Tcg.Op.rule_name e.Tcg.Fence_ledger.origin.Tcg.Op.rule) );
+      ( "outcome",
+        Report.Json.String (Tcg.Fence_ledger.outcome_name e.Tcg.Fence_ledger.outcome) );
+    ]
+  in
+  let extra =
+    match e.Tcg.Fence_ledger.outcome with
+    | Tcg.Fence_ledger.Merged { into; result } ->
+        [
+          ("into_pc", Report.Json.String (Printf.sprintf "0x%Lx" into.Tcg.Op.opc));
+          ("into_rule", Report.Json.String (Tcg.Op.rule_name into.Tcg.Op.rule));
+          ("result", Report.Json.String (Axiom.Event.fence_name result));
+        ]
+    | Tcg.Fence_ledger.Strengthened { from } ->
+        [ ("from", Report.Json.String (Axiom.Event.fence_name from)) ]
+    | Tcg.Fence_ledger.Emitted | Tcg.Fence_ledger.Kept
+    | Tcg.Fence_ledger.Dropped ->
+        []
+  in
+  Report.Json.Obj (base @ extra)
+
+let json_of_ledger pc l =
+  Report.Json.Obj
+    [
+      ("pc", Report.Json.String (Printf.sprintf "0x%Lx" pc));
+      ( "entries",
+        Report.Json.List
+          (List.map json_of_ledger_entry (Tcg.Fence_ledger.entries l)) );
+    ]
+
+(* Deterministic metrics slice: counters and gauges only (histograms
+   carry wall-clock samples), and nothing time-valued (.ns / .us). *)
+let deterministic_metric (name, _) =
+  not
+    (String.ends_with ~suffix:".ns" name
+    || String.ends_with ~suffix:".us" name)
+
+let postmortem_json ?(last = 32) t ~reason =
+  let threads =
+    List.sort
+      (fun a b -> compare a.arm.Arm.Machine.tid b.arm.Arm.Machine.tid)
+      t.guest_threads
+  in
+  let json_of_thread g =
+    Report.Json.Obj
+      [
+        ("tid", Report.Json.Int g.arm.Arm.Machine.tid);
+        ("pc", Report.Json.String (Printf.sprintf "0x%Lx" g.pc));
+        ("finished", Report.Json.Bool g.finished);
+        ( "trap",
+          match g.trap with
+          | Some f -> Report.Json.String (Fault.to_string f)
+          | None -> Report.Json.Null );
+        ( "events",
+          Report.Json.List
+            (List.map json_of_event (Obs.Flight.last ~n:last g.gflight)) );
+      ]
+  in
+  let tiers =
+    Tbchain.fold
+      (fun pc n acc ->
+        Report.Json.Obj
+          [
+            ("pc", Report.Json.String (Printf.sprintf "0x%Lx" pc));
+            ("state", Report.Json.String (state_name n.Tbchain.tier.Tier.state));
+            ("execs", Report.Json.Int n.Tbchain.exec_count);
+            ("super_len", Report.Json.Int n.Tbchain.super_len);
+          ]
+        :: acc)
+      t.tbs []
+  in
+  let tiers =
+    (* Hashtbl fold order is unspecified: re-sort by the pc string we
+       just embedded so the artifact is stable. *)
+    List.sort
+      (fun a b ->
+        match (Report.Json.member "pc" a, Report.Json.member "pc" b) with
+        | Some (Report.Json.String x), Some (Report.Json.String y) -> compare x y
+        | _ -> 0)
+      tiers
+  in
+  let trapping_ledgers =
+    List.filter_map
+      (fun g ->
+        match g.trap with
+        | Some _ ->
+            Option.map (json_of_ledger g.pc) (Hashtbl.find_opt t.ledgers g.pc)
+        | None -> None)
+      threads
+  in
+  let metrics =
+    if Obs.Metrics.enabled () then begin
+      let snap = Obs.Metrics.snapshot () in
+      let fields kvs =
+        List.filter deterministic_metric kvs
+        |> List.map (fun (k, v) -> (k, Report.Json.Int v))
+      in
+      Report.Json.Obj
+        [
+          ("counters", Report.Json.Obj (fields snap.Obs.Metrics.counters));
+          ("gauges", Report.Json.Obj (fields snap.Obs.Metrics.gauges));
+        ]
+    end
+    else Report.Json.Null
+  in
+  Report.Json.Obj
+    [
+      ("schema", Report.Json.String "risotto.postmortem.v1");
+      ("reason", Report.Json.String reason);
+      ("config", Report.Json.String t.config.Config.name);
+      ("threads", Report.Json.List (List.map json_of_thread threads));
+      ( "engine_events",
+        Report.Json.List
+          (List.map json_of_event (Obs.Flight.last ~n:last t.flight)) );
+      ("tiers", Report.Json.List tiers);
+      ("fence_ledgers", Report.Json.List trapping_ledgers);
+      ( "chain",
+        Report.Json.Obj
+          [
+            ("generation", Report.Json.Int (Tbchain.generation t.tbs));
+            ("edges", Report.Json.Int (Tbchain.edge_count t.tbs));
+          ] );
+      ("metrics", metrics);
+    ]
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Write one postmortem artifact (when a directory is configured) and
+   count it.  Failures to write must never take down the engine: the
+   postmortem is a diagnostic of a failure already being handled. *)
+let dump_postmortem t ~reason =
+  match t.postmortem_dir with
+  | None -> ()
+  | Some dir -> (
+      try
+        mkdir_p dir;
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "postmortem-%03d.json" t.postmortems_written)
+        in
+        let body = Report.Json.to_string (postmortem_json t ~reason) in
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc body);
+        t.postmortems_written <- t.postmortems_written + 1;
+        Log.warn (fun m -> m "postmortem written: %s" path)
+      with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+        Log.err (fun m -> m "postmortem write failed: %s" msg))
+
 (* Record a fault against one guest thread; only that thread stops. *)
 let fault_thread t g f =
   let f = Fault.locate ~pc:g.pc ~tid:g.arm.Arm.Machine.tid f in
@@ -477,8 +741,10 @@ let fault_thread t g f =
     "trap";
   Log.warn (fun m ->
       m "T%d trapped: %s" g.arm.Arm.Machine.tid (Fault.to_string f));
+  Obs.Flight.record g.gflight Obs.Flight.Trap g.pc 0;
   g.trap <- Some f;
-  g.finished <- true
+  g.finished <- true;
+  dump_postmortem t ~reason:("trap: " ^ Fault.to_string f)
 
 (* Degraded execution: run the TCG block in the interpreter against
    this thread's pinned state.  Globals 0–15 mirror the guest GP
@@ -675,6 +941,7 @@ let maybe_superblock t node =
     | `Installed (super, len, expected_exit) ->
         Tbchain.install_super node super ~len;
         Tier.note_super_installed node.Tbchain.tier ~expected_exit;
+        Obs.Flight.record t.flight Obs.Flight.Superblock node.Tbchain.pc len;
         t.stats.superblocks <- t.stats.superblocks + 1;
         Obs.Metrics.incr (Lazy.force m_superblocks);
         Obs.Metrics.incr (Lazy.force Tier.m_promotions)
@@ -693,6 +960,8 @@ let maybe_deopt t node =
     node.Tbchain.super_len <- 0;
     Tier.note_deopt p;
     if not (Tier.retry_allowed p) then node.Tbchain.no_super <- true;
+    Obs.Flight.record t.flight Obs.Flight.Tier_deopt node.Tbchain.pc
+      p.Tier.deopt_count;
     t.stats.deopts <- t.stats.deopts + 1;
     Obs.Metrics.incr (Lazy.force Tier.m_deopts);
     Log.info (fun m ->
@@ -718,9 +987,11 @@ let step_block t g =
           then request_compile t node;
           (match node.Tbchain.active with
           | Interp_only _ ->
+              Obs.Flight.record g.gflight Obs.Flight.Block_enter g.pc 0;
               t.stats.interp_execs <- t.stats.interp_execs + 1;
               p.Tier.interp_execs <- p.Tier.interp_execs + 1
-          | Native _ -> ());
+          | Native _ ->
+              Obs.Flight.record g.gflight Obs.Flight.Block_enter g.pc 1);
           maybe_superblock t node;
           if node.Tbchain.super_len > 0 then Tier.record_super_entry p;
           (* Cycle attribution for hot-block ranking is metered: one
@@ -824,6 +1095,13 @@ let run_concurrent ?(max_blocks = 50_000_000) t threads0 =
     Log.warn (fun m ->
         m "watchdog: block budget %d exhausted with %d live thread(s)"
           max_blocks !live);
+    List.iter
+      (fun g ->
+        if not g.finished then
+          Obs.Flight.record g.gflight Obs.Flight.Watchdog g.pc !n)
+      threads;
+    dump_postmortem t
+      ~reason:(Printf.sprintf "exhausted: block budget spent, %d live" !live);
     Exhausted { blocks = !n; live_threads = !live; threads }
   end
 
@@ -862,20 +1140,26 @@ let hot_blocks ?limit t =
   in
   Obs.Profile.rank ?limit entries
 
-(* One-line run summary for CLIs.  Every field is printed
+(* One-line run summary for CLIs.  The core fields are printed
    unconditionally — in particular [interp-fallbacks], so a clean run
-   is distinguishable from a run where degradation went unreported. *)
+   is distinguishable from a run where degradation went unreported.
+   The two install-queue fields are zero-suppressed and named after
+   their gauges ([installs_dropped] / [install_hwm]): most runs never
+   drop an install, and a sync engine has no queue at all. *)
 let stats_line t g =
   let s = t.stats in
   Printf.sprintf
     "cycles=%d blocks=%d executed=%d chained=%d chain-hits=%d \
      jcache-hits=%d superblocks=%d interp-fallbacks=%d traps=%d \
-     cache-quarantined=%d interp-execs=%d tier1-installed=%d deopts=%d \
-     installs-dropped=%d queue-hwm=%d"
+     cache-quarantined=%d interp-execs=%d tier1-installed=%d deopts=%d%s%s"
     g.arm.Arm.Machine.cycles s.blocks_translated s.blocks_executed s.chained
     s.chain_hits s.jmp_cache_hits s.superblocks s.interp_fallbacks s.traps
     s.cache_quarantined s.interp_execs s.tier1_installed s.deopts
-    s.installs_dropped s.install_hwm
+    (if s.installs_dropped > 0 then
+       Printf.sprintf " installs-dropped=%d" s.installs_dropped
+     else "")
+    (if s.install_hwm > 0 then Printf.sprintf " install-hwm=%d" s.install_hwm
+     else "")
 
 (* Publish the hot-path dispatch counters (kept as plain mutable fields
    so dispatch pays nothing for them) into the metrics registry as

@@ -107,6 +107,8 @@ type guest_thread = {
           static exit was patched *)
   mutable next_gen : int;
       (** chain-table generation [next_tb] was captured at *)
+  gflight : Obs.Flight.t;
+      (** this thread's flight ring — see {!thread_flight} *)
 }
 
 (** Create an engine.  [idl] defaults to the full host-library IDL when
@@ -232,10 +234,55 @@ val trap : guest_thread -> Fault.t option
 val hot_blocks : ?limit:int -> t -> Obs.Profile.entry list
 
 (** One-line run summary for CLIs: guest cycles of [g] plus the engine
-    counters.  Every field is printed unconditionally — in particular
-    [interp-fallbacks=0] on a clean run, so silent degradation is
-    impossible to confuse with "not reported". *)
+    counters.  The core fields are printed unconditionally — in
+    particular [interp-fallbacks=0] on a clean run, so silent
+    degradation is impossible to confuse with "not reported".  The
+    install-queue fields ([installs-dropped] / [install-hwm], named for
+    their gauges) are zero-suppressed: they only appear when an install
+    was actually dropped or queued. *)
 val stats_line : t -> guest_thread -> string
+
+(** {2 Flight recorder and postmortems}
+
+    Every guest thread carries an always-on {!Obs.Flight} ring of its
+    recent lifecycle events (block entries, trap, watchdog), and the
+    engine keeps one more for events not owned by a single thread
+    (tier publishes and drops, superblocks, deopts, fence passes).
+    When a postmortem directory is configured, any trap or watchdog
+    exhaustion dumps a deterministic JSON artifact combining the rings
+    with tier states, fence ledgers and a metrics slice. *)
+
+(** The engine-wide flight ring. *)
+val flight : t -> Obs.Flight.t
+
+(** A thread's flight ring (same as its [gflight] field). *)
+val thread_flight : guest_thread -> Obs.Flight.t
+
+(** Enable/disable postmortem dumps by setting the output directory
+    (created on first dump).  [None] (the default) disables dumping;
+    {!postmortem_json} works regardless. *)
+val set_postmortem_dir : t -> string option -> unit
+
+val postmortem_dir : t -> string option
+
+(** Artifacts written so far (filenames [postmortem-NNN.json]). *)
+val postmortems_written : t -> int
+
+(** Build the postmortem document: [reason], config name, each thread's
+    last [last] flight events (default 32) with its pc/trap state, the
+    engine ring, per-block tier states sorted by pc, the fence ledger
+    of every trapping block, a chain-table summary, and the
+    deterministic (non-wall-clock) slice of the metrics registry.
+    Byte-identical across identical runs. *)
+val postmortem_json : ?last:int -> t -> reason:string -> Report.Json.t
+
+(** Fence provenance ledger of the block translated at a pc, if that
+    block was translated by this engine (blocks loaded from the
+    persistent cache have none). *)
+val fence_ledger : t -> int64 -> Tcg.Fence_ledger.t option
+
+(** All per-block ledgers, sorted by pc. *)
+val fence_ledgers : t -> (int64 * Tcg.Fence_ledger.t) list
 
 (** Publish the {!stats} counters into the {!Obs.Metrics} registry as
     [engine.stats.*] gauges.  The dispatch loop deliberately keeps its

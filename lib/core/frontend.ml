@@ -61,24 +61,26 @@ let ea ctx (m : X86.Insn.mem) =
       | None -> ());
       (t, m.disp)
 
-(* Guest load/store with the configured mapping scheme. *)
-let guest_load ctx fences dst base off =
+(* Guest load/store with the configured mapping scheme.  Each mapping
+   fence is tagged with the guest pc and rule that introduced it, so the
+   optimizer's ledger can attribute merges back to instructions. *)
+let guest_load ctx ~pc fences dst base off =
   match (fences : Config.fence_scheme) with
   | Config.Qemu_fences ->
-      emit ctx (Op.Mb E.F_mr);
+      emit ctx (Op.mb ~origin:{ opc = pc; rule = Op.R_pre_load } E.F_mr);
       emit ctx (Op.Ld (dst, base, off))
   | Config.Risotto_fences ->
       emit ctx (Op.Ld (dst, base, off));
-      emit ctx (Op.Mb E.F_rm)
+      emit ctx (Op.mb ~origin:{ opc = pc; rule = Op.R_post_load } E.F_rm)
   | Config.No_fences -> emit ctx (Op.Ld (dst, base, off))
 
-let guest_store ctx fences src base off =
+let guest_store ctx ~pc fences src base off =
   match (fences : Config.fence_scheme) with
   | Config.Qemu_fences ->
-      emit ctx (Op.Mb E.F_mw);
+      emit ctx (Op.mb ~origin:{ opc = pc; rule = Op.R_pre_store } E.F_mw);
       emit ctx (Op.St (src, base, off))
   | Config.Risotto_fences ->
-      emit ctx (Op.Mb E.F_ww);
+      emit ctx (Op.mb ~origin:{ opc = pc; rule = Op.R_store } E.F_ww);
       emit ctx (Op.St (src, base, off))
   | Config.No_fences -> emit ctx (Op.St (src, base, off))
 
@@ -128,12 +130,12 @@ let rax = greg X86.Reg.RAX
 
 (* Stack push/pop are ordinary guest stores/loads: Qemu cannot know the
    stack is thread-private, so they receive mapping fences too. *)
-let push ctx fences src =
+let push ctx ~pc fences src =
   emit ctx (Op.Binopi (Op.Sub, rsp, rsp, 8L));
-  guest_store ctx fences src rsp 0L
+  guest_store ctx ~pc fences src rsp 0L
 
-let pop ctx fences dst =
-  guest_load ctx fences dst rsp 0L;
+let pop ctx ~pc fences dst =
+  guest_load ctx ~pc fences dst rsp 0L;
   emit ctx (Op.Binopi (Op.Add, rsp, rsp, 8L))
 
 (* Set the lazy flags from a comparison of [a] with source [b]. *)
@@ -160,7 +162,6 @@ let helper_name (config : Config.t) base =
 (* One guest instruction.  Returns [true] when the block ends here. *)
 let translate_insn t ctx pc next_pc (insn : X86.Insn.t) =
   let fences = t.config.Config.fences in
-  ignore pc;
   match insn with
   | X86.Insn.Mov_ri (r, imm) ->
       emit ctx (Op.Movi (greg r, imm));
@@ -170,7 +171,7 @@ let translate_insn t ctx pc next_pc (insn : X86.Insn.t) =
       false
   | X86.Insn.Load (r, m) ->
       let base, off = ea ctx m in
-      guest_load ctx fences (greg r) base off;
+      guest_load ctx ~pc fences (greg r) base off;
       false
   | X86.Insn.Store (m, src) ->
       let base, off = ea ctx m in
@@ -182,7 +183,7 @@ let translate_insn t ctx pc next_pc (insn : X86.Insn.t) =
             emit ctx (Op.Movi (tv, i));
             tv
       in
-      guest_store ctx fences v base off;
+      guest_store ctx ~pc fences v base off;
       false
   | X86.Insn.Alu (op, r, src) ->
       (match src with
@@ -245,19 +246,19 @@ let translate_insn t ctx pc next_pc (insn : X86.Insn.t) =
   | X86.Insn.Call target ->
       let tret = fresh_temp ctx in
       emit ctx (Op.Movi (tret, next_pc));
-      push ctx fences tret;
+      push ctx ~pc fences tret;
       emit ctx (Op.Goto_tb target);
       true
   | X86.Insn.Ret ->
       let tret = fresh_temp ctx in
-      pop ctx fences tret;
+      pop ctx ~pc fences tret;
       emit ctx (Op.Goto_ptr tret);
       true
   | X86.Insn.Push r ->
-      push ctx fences (greg r);
+      push ctx ~pc fences (greg r);
       false
   | X86.Insn.Pop r ->
-      pop ctx fences (greg r);
+      pop ctx ~pc fences (greg r);
       false
   | X86.Insn.Lock_cmpxchg (m, r) ->
       let base, off = ea ctx m in
@@ -319,7 +320,8 @@ let translate_insn t ctx pc next_pc (insn : X86.Insn.t) =
   | X86.Insn.Mfence ->
       (match fences with
       | Config.No_fences -> ()
-      | Config.Qemu_fences | Config.Risotto_fences -> emit ctx (Op.Mb E.F_sc));
+      | Config.Qemu_fences | Config.Risotto_fences ->
+          emit ctx (Op.mb ~origin:{ opc = pc; rule = Op.R_mfence } E.F_sc));
       false
   | X86.Insn.Nop -> false
   | X86.Insn.Syscall ->

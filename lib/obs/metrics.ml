@@ -230,3 +230,9 @@ let pp ppf snap =
       snap.histograms
   end;
   Format.fprintf ppf "@]"
+
+(* The one shared metrics-dump path for CLI tools (gelf_tool --metrics,
+   litmus_run --metrics): snapshot everything — including the tier.* and
+   fence.* families — and print the standard [pp] rendering. *)
+let dump ?(ppf = Format.std_formatter) () =
+  Format.fprintf ppf "%a@." pp (snapshot ())

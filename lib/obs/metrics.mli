@@ -73,3 +73,9 @@ val counters_with_prefix : snapshot -> string -> (string * int) list
 (** Human-readable dump: counters, gauges, then histograms with count,
     sum, mean and the non-empty buckets. *)
 val pp : Format.formatter -> snapshot -> unit
+
+(** Snapshot and print every registered metric (counters, gauges,
+    histograms — the [tier.*] and [fence.*] families included) to
+    [ppf] (default [std_formatter]): the single dump path shared by the
+    CLI tools' [--metrics] flags. *)
+val dump : ?ppf:Format.formatter -> unit -> unit

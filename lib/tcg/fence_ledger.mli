@@ -1,0 +1,50 @@
+(** Per-block fence provenance ledger.
+
+    Records what happened to every barrier a block ever contained:
+    emitted by the frontend's mapping rules, kept through the pipeline,
+    merged into a neighbouring fence (possibly strengthening it, since
+    merging joins in the fence lattice), or dropped outright.  Each
+    record also bumps a process-global
+    [fence.<kind>.<outcome>] counter in {!Obs.Metrics}, so per-run
+    aggregates (e.g. the merged ratio) fall out of the metrics snapshot
+    while the ledger itself answers "which guest instruction produced
+    this fence, and which pass eliminated it?" *)
+
+type outcome =
+  | Emitted  (** introduced by the frontend (pass = ["frontend"]) *)
+  | Kept  (** survived the whole pipeline (pass = ["pipeline"]) *)
+  | Merged of { into : Op.origin; result : Axiom.Event.fence }
+      (** absorbed into the surviving fence at [into]; the merge's
+          lattice-join result is [result] *)
+  | Dropped  (** eliminated *)
+  | Strengthened of { from : Axiom.Event.fence }
+      (** a survivor whose kind was strengthened by a merge; [kind] in
+          the entry is the final (stronger) kind, [from] the original *)
+
+type entry = {
+  pass : string;  (** which pass recorded this *)
+  kind : Axiom.Event.fence;
+  origin : Op.origin;
+  outcome : outcome;
+}
+
+type t
+
+val create : unit -> t
+
+(** Entries in recording order. *)
+val entries : t -> entry list
+
+val outcome_name : outcome -> string
+
+(** [record t ~pass ~kind ~origin outcome] appends an entry and bumps
+    the [fence.<kind>.<outcome>] metrics counter. *)
+val record :
+  t -> pass:string -> kind:Axiom.Event.fence -> origin:Op.origin -> outcome ->
+  unit
+
+(** Number of entries whose outcome name matches. *)
+val count : t -> string -> int
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

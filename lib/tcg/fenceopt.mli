@@ -6,9 +6,14 @@
 
     Pure register ops between two fences do not block merging.  Also
     drops [Facq]/[Frel] fences, which lower to nothing on Arm
-    (Figure 7b). *)
+    (Figure 7b).
 
-val run : Op.t list -> Op.t list
+    When [ledger] is given, every absorbed fence is recorded as
+    [Merged] (attributed to its own origin), survivors whose kind grew
+    under the lattice join as [Strengthened], and eliminated
+    [Facq]/[Frel] results as [Dropped]. *)
+
+val run : ?ledger:Fence_ledger.t -> Op.t list -> Op.t list
 
 (** Count of [Mb] ops, for the statistics the evaluation reports. *)
 val count : Op.t list -> int

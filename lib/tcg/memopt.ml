@@ -46,7 +46,7 @@ let run ops =
     (fun i op ->
       match op with
       | Op.Set_label _ | Op.Br _ | Op.Brcond _ -> clear_all ()
-      | Op.Mb f ->
+      | Op.Mb (f, _) ->
           Hashtbl.iter
             (fun _ (e : store_entry) ->
               if not (List.mem f raw_fences) then e.raw_ok <- false;

@@ -9,6 +9,28 @@ let first_local = 32
 type binop = Add | Sub | And | Or | Xor | Shl | Shr | Mul
 type cond = Eq | Ne | Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu
 
+type fence_rule =
+  | R_pre_load
+  | R_post_load
+  | R_pre_store
+  | R_store
+  | R_mfence
+  | R_merged
+  | R_none
+
+type origin = { opc : int64; rule : fence_rule }
+
+let no_origin = { opc = -1L; rule = R_none }
+
+let rule_name = function
+  | R_pre_load -> "pre-load"
+  | R_post_load -> "post-load"
+  | R_pre_store -> "pre-store"
+  | R_store -> "store"
+  | R_mfence -> "mfence"
+  | R_merged -> "merged"
+  | R_none -> "none"
+
 type t =
   | Movi of temp * int64
   | Mov of temp * temp
@@ -16,7 +38,7 @@ type t =
   | Binopi of binop * temp * temp * int64
   | Ld of temp * temp * int64
   | St of temp * temp * int64
-  | Mb of Axiom.Event.fence
+  | Mb of (Axiom.Event.fence * origin)
   | Setcond of cond * temp * temp * temp
   | Brcond of cond * temp * temp * int
   | Set_label of int
@@ -29,6 +51,8 @@ type t =
   | Goto_ptr of temp
   | Exit_halt
   | Trap of string * string
+
+let mb ?(origin = no_origin) f = Mb (f, origin)
 
 let reads = function
   | Movi _ -> []
@@ -129,7 +153,7 @@ let pp ppf = function
       Fmt.pf ppf "%si %a, %a, %Ld" (binop_name op) pp_temp d pp_temp a i
   | Ld (d, b, off) -> Fmt.pf ppf "ld %a, [%a%+Ld]" pp_temp d pp_temp b off
   | St (s, b, off) -> Fmt.pf ppf "st [%a%+Ld], %a" pp_temp b off pp_temp s
-  | Mb f -> Fmt.pf ppf "mb %a" Axiom.Event.pp_fence f
+  | Mb (f, _) -> Fmt.pf ppf "mb %a" Axiom.Event.pp_fence f
   | Setcond (c, d, a, b) ->
       Fmt.pf ppf "setcond.%s %a, %a, %a" (cond_name c) pp_temp d pp_temp a
         pp_temp b

@@ -25,6 +25,26 @@ val first_local : temp
 type binop = Add | Sub | And | Or | Xor | Shl | Shr | Mul
 type cond = Eq | Ne | Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu
 
+(** Which mapping rule introduced a fence (paper §4 fence schemes):
+    a load-side fence, a store-side fence, an explicit guest MFENCE, or
+    the survivor of a {!Fenceopt} merge.  [R_none] marks fences built
+    without provenance (tests, synthetic blocks). *)
+type fence_rule =
+  | R_pre_load
+  | R_post_load
+  | R_pre_store
+  | R_store
+  | R_mfence
+  | R_merged
+  | R_none
+
+(** Fence provenance: the guest instruction pc that caused the fence and
+    the mapping rule that introduced it.  [opc = -1L] when unknown. *)
+type origin = { opc : int64; rule : fence_rule }
+
+val no_origin : origin
+val rule_name : fence_rule -> string
+
 type t =
   | Movi of temp * int64
   | Mov of temp * temp
@@ -32,7 +52,8 @@ type t =
   | Binopi of binop * temp * temp * int64
   | Ld of temp * temp * int64  (** dst ← [base + off] *)
   | St of temp * temp * int64  (** [base + off] ← src *)
-  | Mb of Axiom.Event.fence  (** memory barrier (TCG fence kinds) *)
+  | Mb of (Axiom.Event.fence * origin)
+      (** memory barrier (TCG fence kinds), tagged with provenance *)
   | Setcond of cond * temp * temp * temp
   | Brcond of cond * temp * temp * int  (** branch to label if cond *)
   | Set_label of int
@@ -55,6 +76,10 @@ type t =
           Emitted by the frontend for undecodable guest code and for
           link stubs whose host symbol is missing: executing the block
           traps the calling thread only. *)
+
+(** [mb ?origin f] builds a barrier op; [origin] defaults to
+    {!no_origin}. *)
+val mb : ?origin:origin -> Axiom.Event.fence -> t
 
 (** Temps read / written by an op. *)
 val reads : t -> temp list

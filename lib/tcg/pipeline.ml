@@ -10,11 +10,11 @@ let all = [ Const_fold; Mem_elim; Dce; Fence_merge ]
 let qemu_default = [ Const_fold; Mem_elim; Dce ]
 let risotto_default = [ Const_fold; Mem_elim; Dce; Fence_merge ]
 
-let run_pass = function
+let run_pass ?ledger = function
   | Const_fold -> Constfold.run
   | Dce -> Dce.run
   | Mem_elim -> Memopt.run
-  | Fence_merge -> Fenceopt.run
+  | Fence_merge -> Fenceopt.run ?ledger
 
 (* Per-pass wall-clock histograms (opt.<pass>.ns), registered on first
    use so a pipeline run can be attributed pass by pass. *)
@@ -26,12 +26,61 @@ let pass_hists =
 
 let pass_hist p = List.assq p (Lazy.force pass_hists)
 
-let run passes (b : Block.t) =
+let fences ops =
+  List.filter_map
+    (function Op.Mb (f, o) -> Some (f, o) | _ -> None)
+    ops
+
+(* Multiset difference: fences present before a pass but absent after
+   it.  Fence_merge does its own ledger accounting; this catches any
+   other pass that deletes a barrier (none do today — Mb is impure and
+   writes nothing, so Dce and Memopt keep it — but a future pass that
+   does will be attributed instead of vanishing silently). *)
+let diff_dropped before after =
+  let remaining = ref after in
+  List.filter
+    (fun fo ->
+      let rec remove = function
+        | [] -> None
+        | fo' :: rest when fo' = fo -> Some rest
+        | fo' :: rest -> Option.map (fun r -> fo' :: r) (remove rest)
+      in
+      match remove !remaining with
+      | Some rest ->
+          remaining := rest;
+          false
+      | None -> true)
+    before
+
+let run ?ledger passes (b : Block.t) =
+  (* Always account into a ledger so the fence.* metrics counters flow
+     even when no caller keeps the per-block provenance. *)
+  let l = match ledger with Some l -> l | None -> Fence_ledger.create () in
+  List.iter
+    (fun (f, o) -> Fence_ledger.record l ~pass:"frontend" ~kind:f ~origin:o
+        Fence_ledger.Emitted)
+    (fences b.ops);
   let ops =
     List.fold_left
       (fun ops p ->
-        Obs.Trace.with_span ~cat:"opt" (pass_name p) (fun () ->
-            Obs.Profile.time (pass_hist p) (fun () -> run_pass p ops)))
+        let before = if p = Fence_merge then [] else fences ops in
+        let ops' =
+          Obs.Trace.with_span ~cat:"opt" (pass_name p) (fun () ->
+              Obs.Profile.time (pass_hist p) (fun () ->
+                  run_pass ~ledger:l p ops))
+        in
+        if p <> Fence_merge then
+          List.iter
+            (fun (f, o) ->
+              Fence_ledger.record l ~pass:(pass_name p) ~kind:f ~origin:o
+                Fence_ledger.Dropped)
+            (diff_dropped before (fences ops'));
+        ops')
       b.ops passes
   in
+  List.iter
+    (fun (f, o) ->
+      Fence_ledger.record l ~pass:"pipeline" ~kind:f ~origin:o
+        Fence_ledger.Kept)
+    (fences ops);
   { b with ops }

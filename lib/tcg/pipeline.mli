@@ -11,10 +11,16 @@ val qemu_default : pass list
 (** Risotto: Qemu's passes plus fence merging. *)
 val risotto_default : pass list
 
-val run_pass : pass -> Op.t list -> Op.t list
+val run_pass : ?ledger:Fence_ledger.t -> pass -> Op.t list -> Op.t list
 
 (** Run the passes in order.  Each pass executes under an [opt]-category
     {!Obs.Trace} span and, when metrics are enabled, its wall time is
     recorded into the [opt.<pass>.ns] histogram — both invisible to the
-    transformation itself. *)
-val run : pass list -> Block.t -> Block.t
+    transformation itself.
+
+    Fence provenance: the block's initial barriers are recorded as
+    [Emitted], barriers a pass deletes as [Dropped] (with {!Fenceopt}
+    doing its own finer-grained merge accounting), and the final
+    survivors as [Kept] — into [ledger] when given, and into the
+    [fence.<kind>.<outcome>] {!Obs.Metrics} counters always. *)
+val run : ?ledger:Fence_ledger.t -> pass list -> Block.t -> Block.t

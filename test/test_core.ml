@@ -49,7 +49,8 @@ let translate config items =
   Core.Frontend.translate fe image.Image.Gelf.entry
 
 let count_fence_kind k ops =
-  List.length (List.filter (fun op -> op = Op.Mb k) ops)
+  List.length
+    (List.filter (function Op.Mb (f, _) -> f = k | _ -> false) ops)
 
 let load_store_items =
   [

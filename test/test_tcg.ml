@@ -187,7 +187,7 @@ let test_memopt_raw () =
 let test_memopt_raw_across_allowed_fence () =
   let ops =
     Tcg.Memopt.run
-      [ Op.St (g0, g1, 0L); Op.Mb E.F_ww; Op.Ld (g2, g1, 0L); Op.Goto_tb 0L ]
+      [ Op.St (g0, g1, 0L); Op.mb E.F_ww; Op.Ld (g2, g1, 0L); Op.Goto_tb 0L ]
   in
   check_bool "F-RAW across Fww" false (has_load ops)
 
@@ -195,14 +195,14 @@ let test_memopt_raw_blocked_by_fmr () =
   (* The FMR pitfall: RAW must NOT be applied across an Fmr. *)
   let ops =
     Tcg.Memopt.run
-      [ Op.St (g0, g1, 0L); Op.Mb E.F_mr; Op.Ld (g2, g1, 0L); Op.Goto_tb 0L ]
+      [ Op.St (g0, g1, 0L); Op.mb E.F_mr; Op.Ld (g2, g1, 0L); Op.Goto_tb 0L ]
   in
   check_bool "load survives across Fmr" true (has_load ops)
 
 let test_memopt_rar () =
   let ops =
     Tcg.Memopt.run
-      [ Op.Ld (g0, g1, 0L); Op.Mb E.F_rm; Op.Ld (g2, g1, 0L); Op.Goto_tb 0L ]
+      [ Op.Ld (g0, g1, 0L); Op.mb E.F_rm; Op.Ld (g2, g1, 0L); Op.Goto_tb 0L ]
   in
   check_int "one load left" 1
     (List.length (List.filter (function Op.Ld _ -> true | _ -> false) ops));
@@ -220,7 +220,7 @@ let test_memopt_waw_blocked_by_real_load () =
     Tcg.Memopt.run
       [
         Op.St (g0, g1, 0L);
-        Op.Mb E.F_mr;
+        Op.mb E.F_mr;
         (* blocks forwarding *)
         Op.Ld (g2, g1, 0L);
         Op.St (g3, g1, 0L);
@@ -270,26 +270,26 @@ let test_fence_merge_adjacent () =
   (* Frm; Fww from the x86→IR mapping merge (§6.1 example). *)
   let ops =
     Tcg.Fenceopt.run
-      [ Op.Mb E.F_rm; Op.Mb E.F_ww; Op.St (g0, g1, 0L); Op.Goto_tb 0L ]
+      [ Op.mb E.F_rm; Op.mb E.F_ww; Op.St (g0, g1, 0L); Op.Goto_tb 0L ]
   in
   check_int "merged to one" 1 (count_fences ops)
 
 let test_fence_merge_across_pure_ops () =
   let ops =
     Tcg.Fenceopt.run
-      [ Op.Mb E.F_rm; Op.Movi (t0, 1L); Op.Mb E.F_ww; Op.Goto_tb 0L ]
+      [ Op.mb E.F_rm; Op.Movi (t0, 1L); Op.mb E.F_ww; Op.Goto_tb 0L ]
   in
   check_int "pure ops transparent" 1 (count_fences ops)
 
 let test_fence_merge_blocked_by_memory () =
   let ops =
     Tcg.Fenceopt.run
-      [ Op.Mb E.F_rm; Op.Ld (g0, g1, 0L); Op.Mb E.F_ww; Op.Goto_tb 0L ]
+      [ Op.mb E.F_rm; Op.Ld (g0, g1, 0L); Op.mb E.F_ww; Op.Goto_tb 0L ]
   in
   check_int "memory access blocks merging" 2 (count_fences ops)
 
 let test_fence_drop_acq_rel () =
-  let ops = Tcg.Fenceopt.run [ Op.Mb E.F_acq; Op.Goto_tb 0L ] in
+  let ops = Tcg.Fenceopt.run [ Op.mb E.F_acq; Op.Goto_tb 0L ] in
   check_int "Facq dropped" 0 (count_fences ops)
 
 (* ------------------------------------------------------------------ *)
@@ -313,7 +313,7 @@ let arb_ops =
           (quad binop temp temp (int_range (-8) 8));
         map (fun (d, o) -> Op.Ld (d, t1, o)) (pair (oneofl [ g0; g1; g2; g3; t0 ]) off);
         map (fun (s, o) -> Op.St (s, t1, o)) (pair (oneofl [ g0; g1; g2; g3; t0 ]) off);
-        map (fun f -> Op.Mb f) fencek;
+        map (fun f -> Op.mb f) fencek;
         map (fun (c, d, a, b) -> Op.Setcond (c, d, a, b))
           (quad (oneofl [ Op.Eq; Op.Ne; Op.Lt; Op.Gtu ]) temp temp temp);
       ]

@@ -280,7 +280,14 @@ let test_tiers_engage_sync () =
   let line = Core.Engine.stats_line eng g in
   check_bool "stats line reports tiers" true
     (List.for_all (contains line)
-       [ "interp-execs="; "tier1-installed="; "deopts="; "queue-hwm=" ])
+       [ "interp-execs="; "tier1-installed="; "deopts=" ]);
+  (* The install-queue fields are zero-suppressed: present exactly when
+     the corresponding counter is non-zero.  This run dropped nothing
+     (checked above), so installs-dropped must be absent, not "=0". *)
+  check_bool "installs-dropped suppressed at zero" false
+    (contains line "installs-dropped=");
+  check_bool "install-hwm tracks its counter" true
+    (contains line "install-hwm=" = (st.Core.Engine.install_hwm > 0))
 
 let test_tiers_engage_async () =
   (* Drive the loop manually, draining the background service between

@@ -119,11 +119,41 @@ def cmd_obs(bench_path, trace_path):
     check_envelope(j, bench_path, "obs")
     if not j["parity"]:
         fail(f"{bench_path}: observability changed guest results")
+    if not j["recorder_parity"]:
+        fail(f"{bench_path}: the flight recorder changed guest results")
     if j["disabled_overhead_pct"] > 5.0:
         fail(
             f"{bench_path}: disabled overhead "
             f"{j['disabled_overhead_pct']}% > 5%"
         )
+    if j["recorder_overhead_pct"] > 2.0:
+        fail(
+            f"{bench_path}: always-on recorder overhead "
+            f"{j['recorder_overhead_pct']}% > 2%"
+        )
+    # Fence-elimination provenance: the risotto pipeline must both emit
+    # fences and eliminate some of them, and the ledger counters must
+    # reconcile into a sane ratio.
+    if j["fence_emitted"] <= 0:
+        fail(f"{bench_path}: fence ledger recorded no emitted fences")
+    ratio = j["fence_merged_ratio"]
+    if not (0.0 <= ratio <= 1.0):
+        fail(f"{bench_path}: fence_merged_ratio {ratio} out of [0, 1]")
+    if ratio <= 0.0:
+        fail(f"{bench_path}: risotto merged/dropped no fences at all")
+    expect = (j["fence_merged"] + j["fence_dropped"]) / j["fence_emitted"]
+    if abs(ratio - expect) > 1e-3:
+        fail(
+            f"{bench_path}: fence_merged_ratio {ratio} does not match "
+            f"ledger counters ({expect:.4f})"
+        )
+    # Tier-lifecycle latency: the async pass must have published real
+    # installs and the percentiles must be positive and ordered.
+    lat = j["install_latency"]
+    if lat["count"] <= 0:
+        fail(f"{bench_path}: no request-to-publish latency samples")
+    if not (0 < lat["p50_ns"] <= lat["p95_ns"] <= lat["p99_ns"]):
+        fail(f"{bench_path}: install latency percentiles not ordered: {lat}")
     trace = load(trace_path)
     evs = trace.get("traceEvents", [])
     if not evs:
@@ -138,7 +168,10 @@ def cmd_obs(bench_path, trace_path):
         fail(f"{trace_path}: missing categories (have {sorted(cats)})")
     print(
         f"obs OK: {len(evs)} events, categories {sorted(cats)}, "
-        f"disabled overhead {j['disabled_overhead_pct']:.3f}%"
+        f"disabled overhead {j['disabled_overhead_pct']:.3f}%, "
+        f"recorder {j['recorder_overhead_pct']:.3f}%, "
+        f"merged ratio {ratio:.3f}, "
+        f"install p95 {lat['p95_ns']} ns ({lat['count']} samples)"
     )
 
 
@@ -189,9 +222,21 @@ def cmd_chaos(path):
         fail(f"{path}: watchdog invariant failed: {j['watchdog']}")
     if not all(j["cache"].values()):
         fail(f"{path}: cache campaign failed: {j['cache']}")
+    pm = j["postmortems"]
+    if pm["written"] < 1:
+        fail(f"{path}: injected trap produced no postmortem")
+    if not (pm["trap_dumped"] and pm["deterministic"] and pm["well_formed"]):
+        fail(f"{path}: postmortem campaign failed: {pm}")
+    pm_file = os.path.join(pm["dir"], "postmortem-000.json")
+    if os.path.exists(pm["dir"]) and not glob.glob(
+        os.path.join(pm["dir"], "postmortem-*.json")
+    ):
+        fail(f"{path}: postmortem dir {pm['dir']} holds no dumps")
     print(
         f"chaos OK: {len(j['campaigns'])} campaigns over {j['cells']} cells, "
-        f"{j['watchdog']['timeouts']} watchdog timeout(s)"
+        f"{j['watchdog']['timeouts']} watchdog timeout(s), "
+        f"{pm['written']} deterministic postmortem(s) in {pm['dir']}/ "
+        f"({pm_file if os.path.exists(pm_file) else 'artifact elsewhere'})"
     )
 
 
